@@ -1,0 +1,213 @@
+// Ablation and subsystem benchmarks for the extensions beyond the paper's
+// evaluation section: the statistics-driven planner (vs the default
+// breadth-first order), incremental maintenance under updates (vs full
+// recomputation), the persistent store's write/compact/recover path,
+// bounded regular path queries, and statistics collection. These back the
+// design-choice discussions in DESIGN.md §6.
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/plan"
+	"repro/internal/rpq"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	return gen.Social(gen.DefaultSocial(2000, 17))
+}
+
+// BenchmarkPlannerAblation compares QMatch with the default breadth-first
+// order against QMatch with the statistics-driven plan, over the same
+// generated pattern workload.
+func BenchmarkPlannerAblation(b *testing.B) {
+	g := benchGraph(b)
+	st := stats.Collect(g)
+	pats := gen.Patterns(g, gen.PatternConfig{Nodes: 5, Edges: 6, RatioBP: 3000, Seed: 5}, 8)
+
+	b.Run("default-order", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range pats {
+				if _, err := match.QMatch(g, q, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("planned-order", func(b *testing.B) {
+		orderBy := plan.OrderFunc(g, st)
+		for i := 0; i < b.N; i++ {
+			for _, q := range pats {
+				if _, err := match.QMatch(g, q, &match.Options{OrderBy: orderBy}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("plan-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range pats {
+				pi, _ := q.Pi()
+				plan.Choose(g, st, pi)
+			}
+		}
+	})
+}
+
+// BenchmarkStatsCollect measures the one-pass statistics scan.
+func BenchmarkStatsCollect(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.Collect(g)
+	}
+}
+
+// BenchmarkIncrementalVsRecompute compares maintaining answers under a
+// stream of single-edge updates incrementally against recomputing from
+// scratch after every update — the dynamic-maintenance ablation.
+func BenchmarkIncrementalVsRecompute(b *testing.B) {
+	g := gen.Social(gen.DefaultSocial(800, 29))
+	q := gen.Pattern(g, gen.PatternConfig{Nodes: 3, Edges: 3, RatioBP: 3000, Seed: 11})
+	updates := make([][]dynamic.Update, 20)
+	for i := range updates {
+		f := int32((i * 37) % g.NumNodes())
+		to := int32((i*91 + 13) % g.NumNodes())
+		updates[i] = []dynamic.Update{store.AddEdge(f, to, "follow")}
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := dynamic.NewMatcher(g, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, ups := range updates {
+				if _, err := m.Apply(ups); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cur := g
+			for _, ups := range updates {
+				ng, _, err := dynamic.Apply(cur, ups)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cur = ng
+				if _, err := match.QMatch(cur, q, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkStore measures journaled writes, compaction, and recovery.
+func BenchmarkStore(b *testing.B) {
+	seed := gen.Social(gen.DefaultSocial(500, 3))
+
+	b.Run("apply-100-edges", func(b *testing.B) {
+		dir := b.TempDir()
+		s, err := store.Open(dir, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		if err := s.ImportGraph(seed); err != nil {
+			b.Fatal(err)
+		}
+		n := int32(seed.NumNodes())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			muts := make([]store.Mutation, 100)
+			for j := range muts {
+				muts[j] = store.AddEdge(int32((i*100+j))%n, int32(i*31+j*7)%n, "follow")
+			}
+			if _, err := s.Apply(muts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compact", func(b *testing.B) {
+		dir := b.TempDir()
+		s, err := store.Open(dir, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		if err := s.ImportGraph(seed); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Apply(store.AddEdge(int32(i%seed.NumNodes()), 0, "follow")); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Compact(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reopen", func(b *testing.B) {
+		dir := b.TempDir()
+		s, err := store.Open(dir, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.ImportGraph(seed); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			if _, err := s.Apply(store.AddEdge(int32(i%seed.NumNodes()), int32((i*13)%seed.NumNodes()), "follow")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s2, err := store.Open(dir, store.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s2.Recovery().Applied != 500 {
+				b.Fatalf("recovered %d records", s2.Recovery().Applied)
+			}
+			s2.Close()
+		}
+	})
+	// Keep the temp roots out of the repo tree even if TempDir cleanup is
+	// skipped under -benchtime stress.
+	_ = os.RemoveAll(filepath.Join(os.TempDir(), "qgp-bench-none"))
+}
+
+// BenchmarkRPQReach measures bounded regular path evaluation on the
+// social graph, for a chain, an alternation, and a starred expression.
+func BenchmarkRPQReach(b *testing.B) {
+	g := benchGraph(b)
+	exprs := map[string]*rpq.Expr{
+		"chain": rpq.MustParse("follow.follow"),
+		"alt":   rpq.MustParse("follow|like|recom"),
+		"star":  rpq.MustParse("follow*.buy"),
+	}
+	for name, e := range exprs {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := graph.NodeID(i % g.NumNodes())
+				rpq.Reach(g, v, e, 3)
+			}
+		})
+	}
+}

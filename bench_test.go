@@ -1,0 +1,201 @@
+// Benchmarks reproducing the paper's evaluation: one testing.B target per
+// table/figure (BenchmarkExp1..BenchmarkExp13, see DESIGN.md §4 for the
+// figure mapping), plus micro-benchmarks of the core operations. The
+// experiment benchmarks run the bench-package experiments at reduced
+// scale; cmd/qgpbench runs them at full scale and prints the series.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+)
+
+func runExperiment(b *testing.B, id int) {
+	b.Helper()
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("no experiment %d", id)
+	}
+	sc := bench.Small()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(sc, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp1ResponseTime — Figure 8(a).
+func BenchmarkExp1ResponseTime(b *testing.B) { runExperiment(b, 1) }
+
+// BenchmarkExp2VaryNSocial — Figure 8(b).
+func BenchmarkExp2VaryNSocial(b *testing.B) { runExperiment(b, 2) }
+
+// BenchmarkExp3VaryNKnowledge — Figure 8(c).
+func BenchmarkExp3VaryNKnowledge(b *testing.B) { runExperiment(b, 3) }
+
+// BenchmarkExp4DParSocial — Figure 8(d).
+func BenchmarkExp4DParSocial(b *testing.B) { runExperiment(b, 4) }
+
+// BenchmarkExp5DParKnowledge — Figure 8(e).
+func BenchmarkExp5DParKnowledge(b *testing.B) { runExperiment(b, 5) }
+
+// BenchmarkExp6VaryQSocial — Figure 8(f).
+func BenchmarkExp6VaryQSocial(b *testing.B) { runExperiment(b, 6) }
+
+// BenchmarkExp7VaryQKnowledge — Figure 8(g).
+func BenchmarkExp7VaryQKnowledge(b *testing.B) { runExperiment(b, 7) }
+
+// BenchmarkExp8VaryNegSocial — Figure 8(h).
+func BenchmarkExp8VaryNegSocial(b *testing.B) { runExperiment(b, 8) }
+
+// BenchmarkExp9VaryNegKnowledge — Figure 8(i).
+func BenchmarkExp9VaryNegKnowledge(b *testing.B) { runExperiment(b, 9) }
+
+// BenchmarkExp10VaryPSocial — Figure 8(j).
+func BenchmarkExp10VaryPSocial(b *testing.B) { runExperiment(b, 10) }
+
+// BenchmarkExp11VaryPKnowledge — Figure 8(k).
+func BenchmarkExp11VaryPKnowledge(b *testing.B) { runExperiment(b, 11) }
+
+// BenchmarkExp12VaryG — Figure 8(l).
+func BenchmarkExp12VaryG(b *testing.B) { runExperiment(b, 12) }
+
+// BenchmarkExp13QGAR — Exp-3.
+func BenchmarkExp13QGAR(b *testing.B) { runExperiment(b, 13) }
+
+// --- Micro-benchmarks ----------------------------------------------------
+
+func socialFixture(b *testing.B, persons int) (*graph.Graph, *core.Pattern) {
+	b.Helper()
+	g := gen.Social(gen.DefaultSocial(persons, 1))
+	q := gen.Pattern(g, gen.PatternConfig{Nodes: 5, Edges: 7, RatioBP: 3000, NegEdges: 1, Seed: 1})
+	return g, q
+}
+
+func BenchmarkQMatchSocial(b *testing.B) {
+	g, q := socialFixture(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := match.QMatch(g, q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQMatchNSocial(b *testing.B) {
+	g, q := socialFixture(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := match.QMatchN(g, q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumSocial(b *testing.B) {
+	g, q := socialFixture(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := match.Enum(g, q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDParSocial(b *testing.B) {
+	g := gen.Social(gen.DefaultSocial(2000, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.DPar(g, partition.Config{Workers: 4, D: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPQMatchSocial(b *testing.B) {
+	g, q := socialFixture(b, 2000)
+	if parallel.RequiredHops(q) > 2 {
+		b.Skip("generated pattern exceeds d=2")
+	}
+	part, err := partition.DPar(g, partition.Config{Workers: 4, D: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := parallel.NewCluster(part)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parallel.PQMatch(c, q, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphGeneration(b *testing.B) {
+	for _, kind := range []string{"social", "knowledge", "smallworld"} {
+		b.Run(kind, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				switch kind {
+				case "social":
+					gen.Social(gen.DefaultSocial(2000, int64(i)))
+				case "knowledge":
+					gen.Knowledge(gen.DefaultKnowledge(2000, int64(i)))
+				default:
+					gen.SmallWorld(gen.SmallWorldConfig{Nodes: 2000, Edges: 4000, Seed: int64(i)})
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimulationFilter(b *testing.B) {
+	g, q := socialFixture(b, 2000)
+	pi, _ := q.Pi()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// QMatch compiles (and simulates) per call; this isolates that cost.
+		if _, err := match.QMatch(g, pi, &match.Options{FocusRestrict: []graph.NodeID{0}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPatternGeneration(b *testing.B) {
+	g := gen.Social(gen.DefaultSocial(2000, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Pattern(g, gen.PatternConfig{
+			Nodes: 5, Edges: 7, RatioBP: 3000, NegEdges: 1, Seed: int64(i),
+		})
+	}
+}
+
+func Example_quantifierDSL() {
+	p, _ := core.Parse(`
+qgp
+n xo person *
+n z person
+e xo z follow >=80%
+`)
+	fmt.Print(p)
+	// Output:
+	// qgp
+	// n xo person *
+	// n z person
+	// e xo z follow >=80%
+}
+
+// BenchmarkExp14PlannerAblation — extension ablation Ext-1.
+func BenchmarkExp14PlannerAblation(b *testing.B) { runExperiment(b, 14) }
+
+// BenchmarkExp15DynamicMaintenance — extension ablation Ext-2.
+func BenchmarkExp15DynamicMaintenance(b *testing.B) { runExperiment(b, 15) }

@@ -1,0 +1,122 @@
+// Command qgar evaluates and mines quantified graph association rules
+// (§6 of the paper).
+//
+// Evaluate a rule given as two pattern files (antecedent ⇒ consequent):
+//
+//	qgar -graph social.g -antecedent q1.qgp -consequent q2.qgp [-eta 0.5]
+//
+// Mine rules from a graph (Exp-3's seed-and-extend miner):
+//
+//	qgar -graph social.g -mine [-minsupp 10] [-minconf 0.5] [-minlift 1.05] [-top 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rules"
+)
+
+func main() {
+	var (
+		graphFile  = flag.String("graph", "", "graph file (required)")
+		antecedent = flag.String("antecedent", "", "antecedent pattern file (Q1)")
+		consequent = flag.String("consequent", "", "consequent pattern file (Q2)")
+		eta        = flag.Float64("eta", 0.5, "confidence threshold for entity identification")
+		mine       = flag.Bool("mine", false, "mine rules instead of evaluating one")
+		minSupp    = flag.Int("minsupp", 10, "minimum support (with -mine)")
+		minConf    = flag.Float64("minconf", 0.5, "minimum confidence (with -mine)")
+		minLift    = flag.Float64("minlift", 1.0, "minimum lift (with -mine)")
+		top        = flag.Int("top", 10, "max rules to report (with -mine)")
+		startRatio = flag.Float64("ratio", 30, "starting ratio aggregate pa in percent (with -mine)")
+	)
+	flag.Parse()
+	if *graphFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	g := readGraph(*graphFile)
+	fmt.Printf("graph: %s\n", g.ComputeStats())
+
+	if *mine {
+		mined, err := rules.Mine(g, rules.MineConfig{
+			MinSupport:    *minSupp,
+			MinConfidence: *minConf,
+			MinLift:       *minLift,
+			MaxRules:      *top,
+			StartRatioBP:  int(*startRatio * 100),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if len(mined) == 0 {
+			fmt.Println("no rules meet the thresholds")
+			return
+		}
+		fmt.Printf("%-50s %-8s %-6s %s\n", "rule", "support", "conf", "lift")
+		for _, mr := range mined {
+			fmt.Printf("%-50s %-8d %-6.2f %.2f\n",
+				mr.Rule.Name, mr.Eval.Support, mr.Eval.Confidence, mr.Eval.Lift)
+		}
+		return
+	}
+
+	if *antecedent == "" || *consequent == "" {
+		fatal(fmt.Errorf("evaluation needs -antecedent and -consequent (or use -mine)"))
+	}
+	r, err := rules.New("cli-rule", readPattern(*antecedent), readPattern(*consequent))
+	if err != nil {
+		fatal(err)
+	}
+	ev, err := r.Evaluate(g)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("support=%d  confidence=%.3f  lift=%.3f  (|Q1∩Xo|=%d)\n",
+		ev.Support, ev.Confidence, ev.Lift, ev.XoSize)
+	identified, err := r.Identify(g, *eta)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d entities identified at η=%.2f\n", len(identified), *eta)
+	for i, v := range identified {
+		if i >= 20 {
+			fmt.Printf("  ... %d more\n", len(identified)-20)
+			break
+		}
+		fmt.Printf("  node %d (%s)\n", v, g.NodeLabelName(v))
+	}
+}
+
+func readGraph(path string) *graph.Graph {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadAuto(f)
+	if err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+func readPattern(path string) *core.Pattern {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := core.Parse(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	return p
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qgar: %v\n", err)
+	os.Exit(1)
+}

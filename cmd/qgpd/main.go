@@ -1,0 +1,66 @@
+// Command qgpd serves quantified graph pattern matching over TCP with a
+// newline-delimited JSON protocol (see internal/server for the command
+// set). Sessions are per-connection; each session loads or generates its
+// own graph and queries it.
+//
+// Usage:
+//
+//	qgpd [-addr :7687] [-max-concurrent 4] [-budget 50000000]
+//
+// Try it with netcat:
+//
+//	printf '{"id":1,"cmd":"gen","kind":"social","size":1000}\n{"id":2,"cmd":"match","pattern":"qgp\nn xo person *\nn z person\ne xo z follow >=3\n"}\n' | nc localhost 7687
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7687", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 4, "maximum concurrently executing queries")
+	budget := flag.Int64("budget", 50_000_000, "default extension budget per query (-1 disables)")
+	maxGraph := flag.Int("max-graph", 50_000_000, "maximum session graph size (|V|+|E|)")
+	idle := flag.Duration("idle-timeout", 5*time.Minute, "close idle connections after this long")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("qgpd: %v", err)
+	}
+	srv := server.New(server.Config{
+		MaxConcurrent: *maxConcurrent,
+		DefaultBudget: *budget,
+		MaxGraphSize:  *maxGraph,
+		IdleTimeout:   *idle,
+	})
+	log.Printf("qgpd: listening on %s", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		log.Printf("qgpd: %v, shutting down", sig)
+	case err := <-errc:
+		log.Printf("qgpd: serve: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "qgpd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}

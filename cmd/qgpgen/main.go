@@ -1,0 +1,104 @@
+// Command qgpgen generates the synthetic workloads of §7 to disk: social
+// (Pokec-like), knowledge (YAGO2-like) and small-world (GTgraph-like)
+// graphs in the text format of internal/graph, and QGPs in the DSL of
+// internal/core.
+//
+// Usage:
+//
+//	qgpgen -kind social -size 10000 -seed 1 -out social.g
+//	qgpgen -kind smallworld -size 5000 -edges 10000 -out sw.g
+//	qgpgen -pattern -graph social.g -pnodes 5 -pedges 7 -ratio 30 -neg 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "social", "graph kind: social, knowledge, smallworld")
+		size    = flag.Int("size", 10000, "graph size (persons for social/knowledge; nodes for smallworld)")
+		edges   = flag.Int("edges", 0, "edge count for smallworld (default 2x nodes)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output file (default stdout)")
+		binMode = flag.Bool("binary", false, "write the compact binary graph format")
+		pattern = flag.Bool("pattern", false, "generate a pattern instead of a graph")
+		graphIn = flag.String("graph", "", "graph file to mine patterns from (with -pattern)")
+		pnodes  = flag.Int("pnodes", 5, "pattern nodes |VQ|")
+		pedges  = flag.Int("pedges", 7, "pattern edges |EQ|")
+		ratio   = flag.Float64("ratio", 30, "ratio aggregate pa in percent")
+		neg     = flag.Int("neg", 1, "negated edges |E-Q|")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	if *pattern {
+		if *graphIn == "" {
+			fatal(fmt.Errorf("-pattern requires -graph"))
+		}
+		f, err := os.Open(*graphIn)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := graph.ReadAuto(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		p := gen.Pattern(g, gen.PatternConfig{
+			Nodes: *pnodes, Edges: *pedges,
+			RatioBP: int(*ratio * 100), NegEdges: *neg, Seed: *seed,
+		})
+		fmt.Fprint(w, p.String())
+		return
+	}
+
+	var g *graph.Graph
+	switch *kind {
+	case "social":
+		g = gen.Social(gen.DefaultSocial(*size, *seed))
+	case "knowledge":
+		g = gen.Knowledge(gen.DefaultKnowledge(*size, *seed))
+	case "smallworld":
+		e := *edges
+		if e == 0 {
+			e = 2 * *size
+		}
+		g = gen.SmallWorld(gen.SmallWorldConfig{Nodes: *size, Edges: e, Seed: *seed})
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	fmt.Fprintf(os.Stderr, "qgpgen: %s\n", g.ComputeStats())
+	if *binMode {
+		if err := g.WriteBinary(w); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if _, err := g.WriteTo(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qgpgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,170 @@
+// Command qgpmatch evaluates a quantified graph pattern against a graph.
+//
+// Usage:
+//
+//	qgpmatch -graph social.g -pattern q.qgp [-algo qmatch|qmatchn|enum]
+//	qgpmatch -graph social.g -pattern q.qgp -workers 4 -threads 2
+//
+// With -workers > 1 the graph is partitioned with DPar and evaluated by
+// PQMatch; otherwise the sequential algorithms run. -stats prints work
+// metrics alongside the matches. -planner chooses the matching order from
+// collected graph statistics. -format selects the graph input format:
+// auto (native text/binary, default), csv (edge list: from,to,label), or
+// json (property-graph document). -rpq applies a quantified path
+// constraint ("expr within N quant") to the matches as a post-filter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/match"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/plan"
+	"repro/internal/rpq"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		graphFile   = flag.String("graph", "", "graph file (required)")
+		patternFile = flag.String("pattern", "", "pattern file in the QGP DSL (required)")
+		algo        = flag.String("algo", "qmatch", "sequential algorithm: qmatch, qmatchn, enum")
+		workers     = flag.Int("workers", 1, "parallel workers (n > 1 switches to PQMatch)")
+		threads     = flag.Int("threads", 2, "intra-fragment threads b (with -workers)")
+		showStats   = flag.Bool("stats", false, "print work metrics")
+		limit       = flag.Int("limit", 20, "print at most this many matches (0 = all)")
+		format      = flag.String("format", "auto", "graph input format: auto, csv, json")
+		planner     = flag.Bool("planner", false, "choose the matching order from graph statistics")
+		constraint  = flag.String("rpq", "", "quantified path constraint post-filter, e.g. \"follow.follow within 2 >=5\"")
+	)
+	flag.Parse()
+	if *graphFile == "" || *patternFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g := readGraph(*graphFile, *format)
+	q := readPattern(*patternFile)
+	fmt.Printf("graph: %s\npattern:\n%s", g.ComputeStats(), q)
+
+	start := time.Now()
+	var matches []graph.NodeID
+	var metrics match.Metrics
+
+	if *workers > 1 {
+		d := parallel.RequiredHops(q)
+		part, err := partition.DPar(g, partition.Config{Workers: *workers, D: d})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := parallel.PQMatch(parallel.NewCluster(part), q, *threads)
+		if err != nil {
+			fatal(err)
+		}
+		matches, metrics = res.Matches, res.Metrics
+		fmt.Printf("PQMatch n=%d b=%d d=%d: sim_work=%d total_work=%d\n",
+			*workers, *threads, d, res.SimWork, res.TotalWork)
+	} else {
+		run := match.QMatch
+		switch *algo {
+		case "qmatch":
+		case "qmatchn":
+			run = match.QMatchN
+		case "enum":
+			run = match.Enum
+		default:
+			fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		}
+		var opts *match.Options
+		if *planner {
+			opts = &match.Options{OrderBy: plan.OrderFunc(g, stats.Collect(g))}
+		}
+		res, err := run(g, q, opts)
+		if err != nil {
+			fatal(err)
+		}
+		matches, metrics = res.Matches, res.Metrics
+	}
+	if *constraint != "" {
+		c, err := rpq.ParseConstraint(*constraint)
+		if err != nil {
+			fatal(err)
+		}
+		before := len(matches)
+		matches = rpq.Filter(g, matches, c)
+		fmt.Printf("path constraint %q kept %d of %d matches\n", *constraint, len(matches), before)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("%d matches in %v\n", len(matches), elapsed.Round(time.Microsecond))
+	shown := matches
+	if *limit > 0 && len(shown) > *limit {
+		shown = shown[:*limit]
+	}
+	for _, v := range shown {
+		fmt.Printf("  node %d (%s)\n", v, g.NodeLabelName(v))
+	}
+	if len(shown) < len(matches) {
+		fmt.Printf("  ... %d more\n", len(matches)-len(shown))
+	}
+	if *showStats {
+		fmt.Printf("metrics: focus_candidates=%d verifications=%d extensions=%d early_accepts=%d inc_runs=%d\n",
+			metrics.FocusCandidates, metrics.Verifications, metrics.Extensions,
+			metrics.EarlyAccepts, metrics.IncRuns)
+	}
+}
+
+func readGraph(path, format string) *graph.Graph {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var g *graph.Graph
+	switch format {
+	case "auto":
+		g, err = graph.ReadAuto(f)
+	case "csv":
+		var res *load.Result
+		res, err = load.CSV(f, load.CSVOptions{LabelCol: 2})
+		if res != nil {
+			g = res.Graph
+		}
+	case "json":
+		var res *load.Result
+		res, err = load.JSON(f)
+		if res != nil {
+			g = res.Graph
+		}
+	default:
+		err = fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+func readPattern(path string) *core.Pattern {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	q, err := core.Parse(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	return q
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qgpmatch: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,194 @@
+// Cybersecurity: the paper's introduction names cyber security as a
+// motivating application of counting quantifiers. This example detects
+// two classic network behaviours on a simulated host-communication graph:
+//
+//  1. Scanning hosts: a workstation that opened connections to at least
+//     20 distinct servers — a numeric aggregate ≥ 20 on a "connect" edge.
+//  2. Likely-compromised servers: a server where at least 80% of the
+//     workstations connecting to it were flagged by the IDS, and which
+//     has no entry in the patch registry — a ratio quantifier combined
+//     with negation (σ(e) = 0).
+//
+// Conventional patterns can express neither the ratio nor the negation;
+// both are single QGPs here. The second is refined once more with a
+// regular path constraint: the server must reach an external exfil sink
+// through 1-3 "forward" hops.
+//
+// Run with: go run ./examples/cybersecurity
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/rpq"
+)
+
+func main() {
+	g, scanners, hot := buildNetwork()
+
+	// --- Pattern 1: scanning workstations ---------------------------------
+	scan := core.NewPattern()
+	scan.AddNode("xo", "workstation")
+	scan.AddNode("srv", "server")
+	scan.AddEdge("xo", "srv", "connect", core.Count(core.GE, 20))
+
+	res, err := match.QMatch(g, scan, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scanning workstations (≥20 distinct servers): %v\n", res.Matches)
+	if !equal(res.Matches, scanners) {
+		log.Fatalf("expected %v", scanners)
+	}
+
+	// --- Pattern 2: likely-compromised servers ----------------------------
+	// Focus on servers; 80% of connecting workstations are IDS-flagged
+	// (ratio over *incoming* connections, modeled by reversing the edge
+	// into a "serves" edge at build time), and no "patched" edge exists.
+	comp, err := core.Parse(`
+qgp
+n xo server *
+n w workstation
+n f ids_flag
+n reg patch_registry
+e xo w serves >=80%
+e w f flagged
+e xo reg patched =0
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = match.QMatch(g, comp, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("likely-compromised servers (≥80%% flagged clients, unpatched): %v\n", res.Matches)
+	if !equal(res.Matches, hot) {
+		log.Fatalf("expected %v", hot)
+	}
+
+	// --- Refinement: exfiltration reachability ----------------------------
+	// Among those, keep servers that can reach an exfil sink through 1-3
+	// forward hops. The path constraint composes as a post-filter.
+	constraint, err := rpq.ParseConstraint("forward.forward?.forward? within 3 >=1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The constraint counts reachable nodes; restrict to sink-labeled ones
+	// by filtering reach sets directly.
+	var exfil []graph.NodeID
+	for _, v := range res.Matches {
+		for _, u := range rpq.Reach(g, v, constraint.Expr, constraint.MaxLen) {
+			if g.NodeLabelName(u) == "exfil_sink" {
+				exfil = append(exfil, v)
+				break
+			}
+		}
+	}
+	fmt.Printf("...with an exfil path within 3 forward hops: %v\n", exfil)
+	if len(exfil) != 1 {
+		log.Fatalf("expected exactly one exfil-capable server, got %v", exfil)
+	}
+	fmt.Println("ok")
+}
+
+// buildNetwork simulates a small enterprise network. It returns the graph,
+// the scanner workstations, and the expected hot (compromised) servers.
+func buildNetwork() (*graph.Graph, []graph.NodeID, []graph.NodeID) {
+	r := rand.New(rand.NewSource(7))
+	g := graph.New(256)
+
+	registry := g.AddNode("patch_registry")
+	flag := g.AddNode("ids_flag")
+	sink := g.AddNode("exfil_sink")
+
+	var servers []graph.NodeID
+	for i := 0; i < 12; i++ {
+		servers = append(servers, g.AddNode("server"))
+	}
+	var workstations []graph.NodeID
+	for i := 0; i < 60; i++ {
+		workstations = append(workstations, g.AddNode("workstation"))
+	}
+
+	// Normal traffic: each workstation talks to 2-5 ordinary servers
+	// (servers[0] and servers[1] are reserved for the scenario below, so
+	// their client mix stays controlled).
+	for _, w := range workstations {
+		n := 2 + r.Intn(4)
+		for i := 0; i < n; i++ {
+			s := servers[2+r.Intn(len(servers)-2)]
+			g.AddEdge(w, s, "connect")
+			g.AddEdge(s, w, "serves")
+		}
+	}
+
+	// Two scanners hit 20+ servers each — more servers than exist above,
+	// so give them their own scan targets.
+	var scanTargets []graph.NodeID
+	for i := 0; i < 22; i++ {
+		scanTargets = append(scanTargets, g.AddNode("server"))
+	}
+	scanners := []graph.NodeID{workstations[0], workstations[1]}
+	for _, w := range scanners {
+		for _, s := range scanTargets {
+			g.AddEdge(w, s, "connect")
+		}
+	}
+
+	// Most servers are patched.
+	for _, s := range servers[2:] {
+		g.AddEdge(s, registry, "patched")
+	}
+	for _, s := range scanTargets {
+		g.AddEdge(s, registry, "patched")
+	}
+
+	// servers[0] is hot: 5 clients, 4 flagged (80%), unpatched, and it
+	// forwards toward the exfil sink through one relay.
+	hot := servers[0]
+	var hotClients []graph.NodeID
+	for i := 0; i < 5; i++ {
+		w := g.AddNode("workstation")
+		hotClients = append(hotClients, w)
+		g.AddEdge(w, hot, "connect")
+		g.AddEdge(hot, w, "serves")
+	}
+	for _, w := range hotClients[:4] {
+		g.AddEdge(w, flag, "flagged")
+	}
+	relay := g.AddNode("server")
+	g.AddEdge(relay, registry, "patched")
+	g.AddEdge(hot, relay, "forward")
+	g.AddEdge(relay, sink, "forward")
+
+	// servers[1] looks similar but is patched — it must NOT match.
+	cold := servers[1]
+	for i := 0; i < 5; i++ {
+		w := g.AddNode("workstation")
+		g.AddEdge(w, cold, "connect")
+		g.AddEdge(cold, w, "serves")
+		g.AddEdge(w, flag, "flagged")
+	}
+	g.AddEdge(cold, registry, "patched")
+
+	g.Finalize()
+	return g, scanners, []graph.NodeID{hot}
+}
+
+func equal(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

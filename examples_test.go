@@ -1,0 +1,41 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program; each asserts its own
+// expected answers internally (log.Fatal on mismatch), so a zero exit is
+// a real end-to-end check, not a smoke test.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	examples := []struct {
+		dir  string
+		want string // substring the output must contain
+	}{
+		{"quickstart", "Redmi 2A"},
+		{"socialmarketing", ""},
+		{"knowledge", ""},
+		{"parallelmatch", ""},
+		{"cybersecurity", "ok"},
+		{"dynamicgraph", "consistent"},
+		{"serverdemo", "ok"},
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex.dir, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+ex.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if ex.want != "" && !strings.Contains(string(out), ex.want) {
+				t.Fatalf("output missing %q:\n%s", ex.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,202 @@
+// Package client is the Go client for the qgpd query server: it dials the
+// newline-delimited JSON protocol of internal/server and exposes one
+// typed method per command. A Client owns one connection (one server
+// session, one graph); it is safe for concurrent use — calls are
+// serialized, matching the server's in-order processing per connection.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Client is a connection to a qgpd server.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	sc     *bufio.Scanner
+	nextID int64
+	// Timeout bounds each round trip; zero means no deadline.
+	Timeout time.Duration
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (useful with net.Pipe in
+// tests).
+func NewClient(conn net.Conn) *Client {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 64<<20)
+	return &Client{conn: conn, sc: sc}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and waits for its response. Most callers use the
+// typed helpers instead.
+func (c *Client) Do(req *server.Request) (*server.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req.ID = c.nextID
+
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := c.conn.Write(b); err != nil {
+		return nil, fmt.Errorf("client: write: %w", err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, fmt.Errorf("client: read: %w", err)
+		}
+		return nil, fmt.Errorf("client: connection closed by server")
+	}
+	var resp server.Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("client: decode: %w", err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		return &resp, &ServerError{Msg: resp.Error}
+	}
+	return &resp, nil
+}
+
+// ServerError is a command-level failure reported by the server; the
+// connection remains usable.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "server: " + e.Msg }
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.Do(&server.Request{Cmd: "ping"})
+	return err
+}
+
+// Gen generates a synthetic session graph ("social", "knowledge" or
+// "smallworld") and returns its node and edge counts.
+func (c *Client) Gen(kind string, size int, seed int64) (nodes, edges int, err error) {
+	resp, err := c.Do(&server.Request{Cmd: "gen", Kind: kind, Size: size, Seed: seed})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Nodes, resp.Edges, nil
+}
+
+// LoadText loads a graph in the native text format.
+func (c *Client) LoadText(data string) (nodes, edges int, err error) {
+	resp, err := c.Do(&server.Request{Cmd: "load", Format: "text", Data: data})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Nodes, resp.Edges, nil
+}
+
+// LoadJSON loads a graph in the JSON property-graph format.
+func (c *Client) LoadJSON(data string) (nodes, edges int, err error) {
+	resp, err := c.Do(&server.Request{Cmd: "load", Format: "json", Data: data})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Nodes, resp.Edges, nil
+}
+
+// Update applies a mutation batch to the session graph and returns the
+// new node and edge counts. Ops: "addNode", "addEdge", "removeEdge",
+// "removeNode" (isolates the node; ids stay stable).
+func (c *Client) Update(updates ...server.UpdateSpec) (nodes, edges int, err error) {
+	resp, err := c.Do(&server.Request{Cmd: "update", Updates: updates})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Nodes, resp.Edges, nil
+}
+
+// Watch registers a standing pattern under a name and returns its initial
+// answers. Every later Update on this client reports the watch's answer
+// delta in Response.Deltas.
+func (c *Client) Watch(name, pattern string) (*server.Response, error) {
+	return c.Do(&server.Request{Cmd: "watch", Watch: name, Pattern: pattern})
+}
+
+// Unwatch removes a standing pattern.
+func (c *Client) Unwatch(name string) error {
+	_, err := c.Do(&server.Request{Cmd: "unwatch", Watch: name})
+	return err
+}
+
+// UpdateWithDeltas is Update returning the full response, including the
+// per-watch answer deltas.
+func (c *Client) UpdateWithDeltas(updates ...server.UpdateSpec) (*server.Response, error) {
+	return c.Do(&server.Request{Cmd: "update", Updates: updates})
+}
+
+// MatchOptions tunes a Match call.
+type MatchOptions struct {
+	Engine  string // qmatch (default) | qmatchn | enum
+	Planner bool
+	Budget  int64
+	Limit   int
+}
+
+// Match evaluates a QGP (DSL text) and returns the focus matches.
+func (c *Client) Match(pattern string, opts *MatchOptions) (*server.Response, error) {
+	req := &server.Request{Cmd: "match", Pattern: pattern}
+	if opts != nil {
+		req.Engine = opts.Engine
+		req.Planner = opts.Planner
+		req.Budget = opts.Budget
+		req.Limit = opts.Limit
+	}
+	return c.Do(req)
+}
+
+// PMatch evaluates a QGP in parallel over a d-hop partition.
+func (c *Client) PMatch(pattern string, workers, threads int) (*server.Response, error) {
+	return c.Do(&server.Request{Cmd: "pmatch", Pattern: pattern, Workers: workers, Threads: threads})
+}
+
+// Rule evaluates a QGAR Q1 ⇒ Q2 and returns support, confidence and (when
+// confidence ≥ eta > 0) the identified entities.
+func (c *Client) Rule(q1, q2 string, eta float64) (*server.Response, error) {
+	return c.Do(&server.Request{Cmd: "rule", Pattern: q1, Consequent: q2, Eta: eta})
+}
+
+// RPQFilter evaluates a QGP and filters its answers by a quantified path
+// constraint ("expr within N quant").
+func (c *Client) RPQFilter(pattern, constraint string) (*server.Response, error) {
+	return c.Do(&server.Request{Cmd: "rpqfilter", Pattern: pattern, Constraint: constraint})
+}
+
+// Partition builds a d-hop preserving partition and reports balance.
+func (c *Client) Partition(workers, d int) (*server.Response, error) {
+	return c.Do(&server.Request{Cmd: "partition", Workers: workers, D: d})
+}
+
+// Stats returns graph summary statistics with the topK triple classes.
+func (c *Client) Stats(topK int) (*server.Response, error) {
+	return c.Do(&server.Request{Cmd: "stats", TopK: topK})
+}

@@ -1,0 +1,87 @@
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// fakeServer answers each request line using fn, over a net.Pipe.
+func fakeServer(t *testing.T, fn func(req server.Request) server.Response) *Client {
+	t.Helper()
+	cs, ss := net.Pipe()
+	go func() {
+		sc := bufio.NewScanner(ss)
+		enc := json.NewEncoder(ss)
+		for sc.Scan() {
+			var req server.Request
+			if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+				return
+			}
+			if err := enc.Encode(fn(req)); err != nil {
+				return
+			}
+		}
+	}()
+	c := NewClient(cs)
+	t.Cleanup(func() { c.Close(); ss.Close() })
+	return c
+}
+
+func TestDoRoundTrip(t *testing.T) {
+	c := fakeServer(t, func(req server.Request) server.Response {
+		return server.Response{ID: req.ID, OK: true, Pong: req.Cmd == "ping"}
+	})
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// IDs increment per request.
+	resp, err := c.Do(&server.Request{Cmd: "ping"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 2 {
+		t.Errorf("second request id = %d, want 2", resp.ID)
+	}
+}
+
+func TestDoServerError(t *testing.T) {
+	c := fakeServer(t, func(req server.Request) server.Response {
+		return server.Response{ID: req.ID, OK: false, Error: "boom"}
+	})
+	_, err := c.Do(&server.Request{Cmd: "match"})
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ServerError", err)
+	}
+	if se.Error() != "server: boom" {
+		t.Errorf("message = %q", se.Error())
+	}
+	// The connection keeps working after a command error.
+	if _, err := c.Do(&server.Request{Cmd: "ping"}); err == nil {
+		t.Log("fake always errors; expected error again")
+	}
+}
+
+func TestDoIDMismatch(t *testing.T) {
+	c := fakeServer(t, func(req server.Request) server.Response {
+		return server.Response{ID: req.ID + 41, OK: true}
+	})
+	if _, err := c.Do(&server.Request{Cmd: "ping"}); err == nil {
+		t.Fatal("mismatched response id accepted")
+	}
+}
+
+func TestDoClosedConnection(t *testing.T) {
+	cs, ss := net.Pipe()
+	ss.Close()
+	c := NewClient(cs)
+	defer c.Close()
+	if _, err := c.Do(&server.Request{Cmd: "ping"}); err == nil {
+		t.Fatal("write to closed pipe succeeded")
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/scan"
+)
+
+// Parse reads a pattern in the textual DSL emitted by Pattern.String:
+//
+//	qgp
+//	n <name> <label> [*]        # node; '*' marks the query focus
+//	e <from> <to> <label> [q]   # edge with optional quantifier
+//
+// Quantifiers: ">=N", ">N", "=N", "<=N", "<N", "!=N" (numeric; "=0" is
+// negation) and ">=P%", "=P%", "<=P%", "!=P%" (ratio, P a decimal
+// percentage). An omitted quantifier is the existential ">=1". Lines
+// starting with '#' are comments.
+//
+// Parse validates the result with Validate.
+func Parse(input string) (*Pattern, error) {
+	sc := bufio.NewScanner(strings.NewReader(input))
+	p := NewPattern()
+	sawHeader := false
+	focusSet := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields, err := scan.Fields(text)
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %v", line, err)
+		}
+		switch fields[0] {
+		case "qgp":
+			sawHeader = true
+		case "n":
+			if !sawHeader {
+				return nil, fmt.Errorf("core: line %d: missing qgp header", line)
+			}
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("core: line %d: want 'n <name> <label> [*]'", line)
+			}
+			if _, dup := p.NodeIndex(fields[1]); dup {
+				return nil, fmt.Errorf("core: line %d: duplicate node %q", line, fields[1])
+			}
+			p.AddNode(fields[1], fields[2])
+			if len(fields) == 4 {
+				if fields[3] != "*" {
+					return nil, fmt.Errorf("core: line %d: unexpected %q (only '*' marks focus)", line, fields[3])
+				}
+				if focusSet {
+					return nil, fmt.Errorf("core: line %d: multiple focus nodes", line)
+				}
+				p.SetFocus(fields[1])
+				focusSet = true
+			}
+		case "e":
+			if !sawHeader {
+				return nil, fmt.Errorf("core: line %d: missing qgp header", line)
+			}
+			if len(fields) != 4 && len(fields) != 5 {
+				return nil, fmt.Errorf("core: line %d: want 'e <from> <to> <label> [quantifier]'", line)
+			}
+			from, ok := p.NodeIndex(fields[1])
+			if !ok {
+				return nil, fmt.Errorf("core: line %d: unknown node %q", line, fields[1])
+			}
+			to, ok := p.NodeIndex(fields[2])
+			if !ok {
+				return nil, fmt.Errorf("core: line %d: unknown node %q", line, fields[2])
+			}
+			q := Exists()
+			if len(fields) == 5 {
+				var err error
+				q, err = ParseQuantifier(fields[4])
+				if err != nil {
+					return nil, fmt.Errorf("core: line %d: %v", line, err)
+				}
+			}
+			p.Edges = append(p.Edges, PEdge{From: from, To: to, Label: fields[3], Q: q})
+		default:
+			return nil, fmt.Errorf("core: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("core: missing qgp header")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseQuantifier parses a quantifier token: ">=N", ">N", "=N", "<=N",
+// "<N", "!=N" and the ratio forms ">=P%", "=P%", "<=P%", "!=P%" (P may
+// have up to two decimal places). ">N" and "<N" normalize to ">=N+1" and
+// "<=N-1".
+func ParseQuantifier(s string) (Quantifier, error) {
+	var op Op
+	var rest string
+	var gt, lt bool
+	switch {
+	case strings.HasPrefix(s, ">="):
+		op, rest = GE, s[2:]
+	case strings.HasPrefix(s, ">"):
+		op, rest, gt = GE, s[1:], true
+	case strings.HasPrefix(s, "<="):
+		op, rest = LE, s[2:]
+	case strings.HasPrefix(s, "<"):
+		op, rest, lt = LE, s[1:], true
+	case strings.HasPrefix(s, "!="):
+		op, rest = NE, s[2:]
+	case strings.HasPrefix(s, "="):
+		op, rest = EQ, s[1:]
+	default:
+		return Quantifier{}, fmt.Errorf("bad quantifier %q: must start with >=, >, <=, <, != or =", s)
+	}
+	if rest == "" {
+		return Quantifier{}, fmt.Errorf("bad quantifier %q: missing value", s)
+	}
+	if strings.HasSuffix(rest, "%") {
+		if gt || lt {
+			return Quantifier{}, fmt.Errorf("bad quantifier %q: strict comparisons not supported for ratios", s)
+		}
+		pct, err := strconv.ParseFloat(strings.TrimSuffix(rest, "%"), 64)
+		if err != nil || pct <= 0 || pct > 100 {
+			return Quantifier{}, fmt.Errorf("bad ratio %q: percentage must be in (0,100]", s)
+		}
+		return RatioPercent(op, pct), nil
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return Quantifier{}, fmt.Errorf("bad numeric quantifier %q", s)
+	}
+	if gt {
+		return CountGT(n), nil
+	}
+	if lt {
+		if n < 2 {
+			return Quantifier{}, fmt.Errorf("bad quantifier %q: <%d is unsatisfiable or negation", s, n)
+		}
+		return Count(LE, n-1), nil
+	}
+	q := Count(op, n)
+	if !q.Valid() {
+		return Quantifier{}, fmt.Errorf("invalid quantifier %q", s)
+	}
+	return q, nil
+}

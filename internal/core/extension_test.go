@@ -1,0 +1,119 @@
+package core
+
+import "testing"
+
+// Tests for the ≤ / ≠ quantifier extension (the paper's §8 future work).
+
+func TestLEQuantifier(t *testing.T) {
+	q := Count(LE, 2)
+	cases := []struct {
+		count int
+		want  bool
+	}{{0, true}, {1, true}, {2, true}, {3, false}}
+	for _, c := range cases {
+		if got := q.Satisfied(c.count, 10); got != c.want {
+			t.Errorf("<=2 Satisfied(%d) = %v, want %v", c.count, got, c.want)
+		}
+	}
+	if q.String() != "<=2" {
+		t.Errorf("String = %q", q.String())
+	}
+	if need, ok := q.Threshold(10); !ok || need != 1 {
+		t.Errorf("Threshold = (%d,%v), want (1,true)", need, ok)
+	}
+	if Count(LE, 0).Valid() {
+		t.Error("<=0 must be invalid (write =0 for negation)")
+	}
+}
+
+func TestNEQuantifier(t *testing.T) {
+	q := Count(NE, 2)
+	cases := []struct {
+		count int
+		want  bool
+	}{{0, true}, {1, true}, {2, false}, {3, true}}
+	for _, c := range cases {
+		if got := q.Satisfied(c.count, 10); got != c.want {
+			t.Errorf("!=2 Satisfied(%d) = %v, want %v", c.count, got, c.want)
+		}
+	}
+	if q.String() != "!=2" {
+		t.Errorf("String = %q", q.String())
+	}
+	if need, ok := Count(NE, 1).Threshold(10); !ok || need != 2 {
+		t.Errorf("!=1 Threshold = (%d,%v), want (2,true)", need, ok)
+	}
+}
+
+func TestLERatio(t *testing.T) {
+	q := RatioPercent(LE, 50)
+	if !q.Satisfied(1, 4) || !q.Satisfied(2, 4) || q.Satisfied(3, 4) {
+		t.Error("<=50% over 4 children broken")
+	}
+	// One child out of one is 100% — no count can satisfy <= 50%.
+	if _, ok := q.Threshold(1); ok {
+		t.Error("<=50% with total=1 should be unsatisfiable")
+	}
+	if need, ok := q.Threshold(4); !ok || need != 1 {
+		t.Errorf("Threshold(4) = (%d,%v)", need, ok)
+	}
+}
+
+func TestNERatio(t *testing.T) {
+	q := RatioPercent(NE, 50)
+	if q.Satisfied(2, 4) || !q.Satisfied(1, 4) || !q.Satisfied(3, 4) {
+		t.Error("!=50% over 4 children broken")
+	}
+	// bp*total = 10000 exactly: a single child hits equality, so min is 2.
+	if need, ok := Ratio(NE, 5000).Threshold(2); !ok || need != 2 {
+		t.Errorf("!=50%% Threshold(2) = (%d,%v), want (2,true)", need, ok)
+	}
+}
+
+func TestParseExtensionTokens(t *testing.T) {
+	cases := map[string]Quantifier{
+		"<=3":   Count(LE, 3),
+		"<3":    Count(LE, 2),
+		"!=2":   Count(NE, 2),
+		"<=40%": RatioPercent(LE, 40),
+		"!=50%": RatioPercent(NE, 50),
+	}
+	for in, want := range cases {
+		got, err := ParseQuantifier(in)
+		if err != nil {
+			t.Errorf("ParseQuantifier(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseQuantifier(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, in := range []string{"<=0", "<1", "<0", "<=-1", "<50%"} {
+		if _, err := ParseQuantifier(in); err == nil {
+			t.Errorf("ParseQuantifier(%q) succeeded, want error", in)
+		}
+	}
+	// Round trip through String.
+	for _, q := range []Quantifier{Count(LE, 3), Count(NE, 2), Ratio(LE, 4000), Ratio(NE, 5000)} {
+		got, err := ParseQuantifier(q.String())
+		if err != nil || got != q {
+			t.Errorf("round trip %v failed: %v %v", q, got, err)
+		}
+	}
+}
+
+func TestExtensionOnPath(t *testing.T) {
+	// LE/NE count toward the l-restriction like any non-existential
+	// quantifier.
+	p := NewPattern()
+	p.AddNode("xo", "x")
+	p.AddNode("a", "y")
+	p.AddNode("b", "z")
+	p.AddNode("c", "w")
+	p.AddEdge("xo", "a", "r", Count(LE, 2))
+	p.AddEdge("a", "b", "r", Count(NE, 1))
+	p.AddEdge("b", "c", "r", Count(GE, 2))
+	if err := p.Validate(); err == nil {
+		t.Error("3 non-existential quantifiers on one path validated with l=2")
+	}
+}

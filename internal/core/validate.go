@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultMaxQuantifiersPerPath is the paper's predefined constant l: the
+// empirical study it cites finds real-world queries need l ≤ 2.
+const DefaultMaxQuantifiersPerPath = 2
+
+// ErrInvalidPattern wraps all pattern validation failures.
+var ErrInvalidPattern = errors.New("invalid quantified graph pattern")
+
+// Validate checks the well-formedness rules of §2.2 with the default l.
+func (p *Pattern) Validate() error {
+	return p.ValidateL(DefaultMaxQuantifiersPerPath)
+}
+
+// ValidateL checks that the pattern is a well-formed QGP:
+//
+//   - it has at least one node and a designated focus,
+//   - node names are unique and labels non-empty,
+//   - it is connected,
+//   - every quantifier is syntactically valid,
+//   - on every simple (cycle-free, undirected) path starting at the focus
+//     there are at most l non-existential quantifiers and at most one
+//     negated edge (the paper's restriction excluding FO-hard patterns and
+//     double negation; paths are anchored at xo — the paper's own Q5 has
+//     two negated edges that share an undirected path but lie on different
+//     focus-anchored branches).
+func (p *Pattern) ValidateL(l int) error {
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("%w: no nodes", ErrInvalidPattern)
+	}
+	if p.Focus < 0 || p.Focus >= len(p.Nodes) {
+		return fmt.Errorf("%w: focus out of range", ErrInvalidPattern)
+	}
+	for i, n := range p.Nodes {
+		if n.Label == "" {
+			return fmt.Errorf("%w: node %q has empty label", ErrInvalidPattern, n.Name)
+		}
+		if n.Name == "" {
+			return fmt.Errorf("%w: node %d has empty name", ErrInvalidPattern, i)
+		}
+	}
+	for i, e := range p.Edges {
+		if e.Label == "" {
+			return fmt.Errorf("%w: edge %d has empty label", ErrInvalidPattern, i)
+		}
+		if !e.Q.Valid() {
+			return fmt.Errorf("%w: edge %d has invalid quantifier %v", ErrInvalidPattern, i, e.Q)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("%w: edge %d is a self-loop", ErrInvalidPattern, i)
+		}
+	}
+	if !p.Connected() {
+		return fmt.Errorf("%w: pattern is not connected", ErrInvalidPattern)
+	}
+	if quants, negs := p.maxOnSimplePath(); quants > l || negs > 1 {
+		if negs > 1 {
+			return fmt.Errorf("%w: a simple path carries %d negated edges (max 1: no double negation)",
+				ErrInvalidPattern, negs)
+		}
+		return fmt.Errorf("%w: a simple path carries %d non-existential quantifiers (max l=%d)",
+			ErrInvalidPattern, quants, l)
+	}
+	return nil
+}
+
+// maxOnSimplePath enumerates all simple undirected paths starting at the
+// focus (patterns are small, ≤ ~12 nodes in all realistic workloads) and
+// returns the maximum number of non-existential quantifiers and negated
+// edges on any of them.
+func (p *Pattern) maxOnSimplePath() (maxQuants, maxNegs int) {
+	type halfEdge struct {
+		to   int
+		edge int
+	}
+	adj := make([][]halfEdge, len(p.Nodes))
+	for i, e := range p.Edges {
+		adj[e.From] = append(adj[e.From], halfEdge{e.To, i})
+		adj[e.To] = append(adj[e.To], halfEdge{e.From, i})
+	}
+	visited := make([]bool, len(p.Nodes))
+	usedEdge := make([]bool, len(p.Edges))
+
+	var dfs func(u, quants, negs int)
+	dfs = func(u, quants, negs int) {
+		if quants > maxQuants {
+			maxQuants = quants
+		}
+		if negs > maxNegs {
+			maxNegs = negs
+		}
+		for _, he := range adj[u] {
+			if visited[he.to] || usedEdge[he.edge] {
+				continue
+			}
+			e := p.Edges[he.edge]
+			dq, dn := 0, 0
+			if e.IsNegated() {
+				dn = 1
+				dq = 1
+			} else if !e.Q.IsExistential() {
+				dq = 1
+			}
+			visited[he.to] = true
+			usedEdge[he.edge] = true
+			dfs(he.to, quants+dq, negs+dn)
+			visited[he.to] = false
+			usedEdge[he.edge] = false
+		}
+	}
+	visited[p.Focus] = true
+	dfs(p.Focus, 0, 0)
+	visited[p.Focus] = false
+	return maxQuants, maxNegs
+}

@@ -1,0 +1,146 @@
+// Package dynamic maintains quantified-matching state under graph updates,
+// implementing the remark of §5.2: "When G is updated, coordinator Sc
+// assigns the changes to each fragment. Each worker then applies
+// incremental distance querying to maintain Nd(v) of all affected v."
+//
+// The locality argument is the one behind Lemma 9(1): whether a node vx
+// answers a pattern Q depends only on the subgraph induced by Nd(vx),
+// where d = parallel.RequiredHops(Q). An update therefore can only change
+// the membership of focus nodes within d undirected hops of a touched
+// node — measured in the old graph for deletions and in the new graph for
+// insertions. Matcher re-verifies exactly that affected set and reuses
+// every other cached answer; Repartition reloads exactly the affected
+// owners' neighborhoods.
+//
+// Updates reuse the mutation vocabulary of internal/store, so a store's
+// journaled history is directly replayable into a Matcher.
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// Update is one graph change; it is the store's mutation type.
+type Update = store.Mutation
+
+type edgeKey struct {
+	from, to graph.NodeID
+	label    string
+}
+
+// Apply applies a batch of updates to g, in order, and returns the new
+// finalized graph plus the sorted set of touched nodes: endpoints of
+// inserted or removed edges, newly added nodes, and isolated nodes. Node
+// ids are stable: OpRemoveNode isolates the node but keeps its slot (the
+// store's tombstone semantics), so answer sets over old and new graphs
+// are directly comparable.
+func Apply(g *graph.Graph, ups []Update) (*graph.Graph, []graph.NodeID, error) {
+	// Build the edge-set model of g, then replay the batch in order.
+	labels := make([]string, g.NumNodes())
+	edges := make(map[edgeKey]bool, g.NumEdges())
+	for vi := 0; vi < g.NumNodes(); vi++ {
+		v := graph.NodeID(vi)
+		labels[vi] = g.NodeLabelName(v)
+		for _, e := range g.Out(v) {
+			edges[edgeKey{v, e.To, g.LabelName(e.Label)}] = true
+		}
+	}
+
+	touched := make(map[graph.NodeID]bool)
+	for _, u := range ups {
+		switch u.Op {
+		case store.OpAddNode:
+			labels = append(labels, u.Label)
+			touched[graph.NodeID(len(labels)-1)] = true
+		case store.OpAddEdge, store.OpRemoveEdge:
+			if u.From < 0 || int(u.From) >= len(labels) || u.To < 0 || int(u.To) >= len(labels) {
+				return nil, nil, fmt.Errorf("dynamic: %v references a node outside [0, %d)", u, len(labels))
+			}
+			k := edgeKey{graph.NodeID(u.From), graph.NodeID(u.To), u.Label}
+			if u.Op == store.OpAddEdge {
+				edges[k] = true
+			} else {
+				delete(edges, k)
+			}
+			touched[k.from] = true
+			touched[k.to] = true
+		case store.OpRemoveNode:
+			if u.From < 0 || int(u.From) >= len(labels) {
+				return nil, nil, fmt.Errorf("dynamic: %v references a node outside [0, %d)", u, len(labels))
+			}
+			v := graph.NodeID(u.From)
+			for k := range edges {
+				if k.from == v || k.to == v {
+					delete(edges, k)
+					// Former neighbors are touched too: their adjacency
+					// changed even though no update names them.
+					touched[k.from] = true
+					touched[k.to] = true
+				}
+			}
+			touched[v] = true
+		default:
+			return nil, nil, fmt.Errorf("dynamic: unknown update op %d", u.Op)
+		}
+	}
+
+	ng := graph.New(len(labels))
+	for _, l := range labels {
+		ng.AddNode(l)
+	}
+	keys := make([]edgeKey, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		return a.label < b.label
+	})
+	for _, k := range keys {
+		ng.AddEdge(k.from, k.to, k.label)
+	}
+	ng.Finalize()
+
+	out := make([]graph.NodeID, 0, len(touched))
+	for v := range touched {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return ng, out, nil
+}
+
+// AffectedWithin returns the sorted set of nodes within hops undirected
+// hops of any touched node, unioned over the old and the new graph: a
+// deletion affects nodes that could reach the endpoints before the change,
+// an insertion affects nodes that can reach them after.
+func AffectedWithin(oldG, newG *graph.Graph, touched []graph.NodeID, hops int) []graph.NodeID {
+	seen := make(map[graph.NodeID]bool)
+	collect := func(g *graph.Graph) {
+		for _, v := range touched {
+			if int(v) >= g.NumNodes() {
+				continue // node added after this graph's version
+			}
+			for _, u := range g.Neighborhood(v, hops) {
+				seen[u] = true
+			}
+		}
+	}
+	collect(oldG)
+	collect(newG)
+	out := make([]graph.NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

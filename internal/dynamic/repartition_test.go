@@ -1,0 +1,155 @@
+package dynamic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/store"
+)
+
+func TestRepartitionPreservesInvariants(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(200, 13))
+	p, err := partition.DPar(g, partition.Config{Workers: 4, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(5))
+	cur := g
+	for step := 0; step < 10; step++ {
+		var ups []Update
+		for k := 0; k < 3; k++ {
+			switch r.Intn(3) {
+			case 0:
+				ups = append(ups, store.AddNode("person"))
+			case 1:
+				ups = append(ups, store.AddEdge(int32(r.Intn(cur.NumNodes())), int32(r.Intn(cur.NumNodes())), "follow"))
+			case 2:
+				v := graph.NodeID(r.Intn(cur.NumNodes()))
+				if es := cur.Out(v); len(es) > 0 {
+					e := es[r.Intn(len(es))]
+					ups = append(ups, store.RemoveEdge(int32(v), int32(e.To), cur.LabelName(e.Label)))
+				}
+			}
+		}
+		ng, touched, err := Apply(cur, ups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		np, st := Repartition(p, cur, ng, touched)
+		if err := np.Validate(); err != nil {
+			t.Fatalf("step %d: %v (stats %+v)", step, err, st)
+		}
+		cur, p = ng, np
+	}
+}
+
+func TestRepartitionIsLocal(t *testing.T) {
+	// A ring lattice has bounded 2-hop balls, so maintenance locality is
+	// observable (a small-world social graph would not do: two hops from a
+	// hub can cover the whole graph, and then "everything affected" is the
+	// correct answer).
+	const n = 300
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode("person")
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n), "follow")
+	}
+	g.Finalize()
+	p, err := partition.DPar(g, partition.Config{Workers: 4, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One edge insertion between existing nodes: affected owners must be a
+	// small fraction of the graph.
+	ng, touched, err := Apply(g, []Update{store.AddEdge(0, 1, "follow")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, st := Repartition(p, g, ng, touched)
+	if err := np.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.AffectedOwners >= g.NumNodes()/2 {
+		t.Errorf("affected owners = %d of %d nodes; maintenance is not local", st.AffectedOwners, g.NumNodes())
+	}
+	if st.NewOwners != 0 {
+		t.Errorf("NewOwners = %d, want 0", st.NewOwners)
+	}
+}
+
+func TestRepartitionAssignsNewNodes(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(100, 19))
+	p, err := partition.DPar(g, partition.Config{Workers: 3, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := int32(g.NumNodes())
+	ng, touched, err := Apply(g, []Update{
+		store.AddNode("person"),
+		store.AddEdge(id, 0, "follow"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, st := Repartition(p, g, ng, touched)
+	if err := np.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.NewOwners != 1 {
+		t.Errorf("NewOwners = %d, want 1", st.NewOwners)
+	}
+}
+
+// End-to-end: parallel evaluation over the incrementally maintained
+// partition agrees with sequential evaluation over the updated graph.
+func TestRepartitionParallelAgreement(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(200, 23))
+	q := gen.Pattern(g, gen.PatternConfig{Nodes: 3, Edges: 3, RatioBP: 3000, Seed: 7})
+	d := parallel.RequiredHops(q)
+	p, err := partition.DPar(g, partition.Config{Workers: 4, D: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(41))
+	cur := g
+	for step := 0; step < 5; step++ {
+		var ups []Update
+		for k := 0; k < 4; k++ {
+			ups = append(ups, store.AddEdge(int32(r.Intn(cur.NumNodes())), int32(r.Intn(cur.NumNodes())), "follow"))
+		}
+		ng, touched, err := Apply(cur, ups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		np, _ := Repartition(p, cur, ng, touched)
+		if err := np.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		cur, p = ng, np
+
+		seq, err := match.QMatch(cur, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := parallel.PQMatch(parallel.NewCluster(p), q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Matches, par.Matches) && !(len(seq.Matches) == 0 && len(par.Matches) == 0) {
+			t.Fatalf("step %d: parallel %v != sequential %v", step, par.Matches, seq.Matches)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package gen provides the workload substrate of the paper's evaluation
+// (§7): seeded synthetic graph generators standing in for the Pokec social
+// network, the YAGO2 knowledge base and the GTgraph small-world synthetic
+// graphs, plus the frequent-feature-seeded QGP generator. All generators
+// are deterministic in their seeds. See DESIGN.md §3 for the substitution
+// rationale.
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// zipfOutDegree draws a skewed out-degree with the given mean: most nodes
+// sit near the mean, a heavy tail reaches maxFactor times it (social-graph
+// degree skew, average ≈ 14 per the NSA big-graph report the paper cites).
+func zipfOutDegree(r *rand.Rand, mean, maxFactor int) int {
+	if mean <= 0 {
+		return 0
+	}
+	// 80% of nodes: uniform around the mean; 20%: heavy tail.
+	if r.Intn(5) > 0 {
+		return 1 + r.Intn(2*mean)
+	}
+	tail := mean * maxFactor
+	d := mean + int(float64(tail)*r.ExpFloat64()/4)
+	if d > tail {
+		d = tail
+	}
+	return d
+}
+
+// pick returns a random element of ids.
+func pick(r *rand.Rand, ids []graph.NodeID) graph.NodeID {
+	return ids[r.Intn(len(ids))]
+}
+
+// addNodes appends n nodes with the given label and returns their ids.
+func addNodes(g *graph.Graph, n int, label string) []graph.NodeID {
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode(label)
+	}
+	return ids
+}

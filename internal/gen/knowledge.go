@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// KnowledgeConfig controls the YAGO2-like knowledge graph generator.
+type KnowledgeConfig struct {
+	People       int
+	Universities int
+	Prizes       int
+	Countries    int
+	Seed         int64
+}
+
+// DefaultKnowledge returns a laptop-scale YAGO2-shaped configuration:
+// sparser than the social graph, with many relation types over a small
+// entity-type vocabulary.
+func DefaultKnowledge(people int, seed int64) KnowledgeConfig {
+	return KnowledgeConfig{
+		People:       people,
+		Universities: people/200 + 5,
+		Prizes:       10,
+		Countries:    20,
+		Seed:         seed,
+	}
+}
+
+// Knowledge generates the knowledge graph: an academic world of people
+// (some professors, some PhD holders), advisor lineages, universities in
+// countries, prizes, and citizenship — the relation vocabulary of the
+// paper's Q4/Q5 and R7 examples.
+func Knowledge(cfg KnowledgeConfig) *graph.Graph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.People + cfg.Universities + cfg.Prizes + cfg.Countries + 4)
+
+	people := addNodes(g, cfg.People, "person")
+	universities := addNodes(g, cfg.Universities, "university")
+	prizes := addNodes(g, cfg.Prizes, "prize")
+	countries := addNodes(g, cfg.Countries, "country")
+	prof := g.AddNode("prof")
+	phd := g.AddNode("PhD")
+	scientist := g.AddNode("scientist")
+
+	for _, u := range universities {
+		g.AddEdge(u, pick(r, countries), "in")
+	}
+
+	// Academic roles: ~30% professors, ~50% PhD holders, with correlation.
+	isProf := make([]bool, cfg.People)
+	for i, p := range people {
+		hasPhD := r.Intn(10) < 5
+		isProf[i] = r.Intn(10) < 3
+		if isProf[i] && r.Intn(10) < 8 {
+			hasPhD = true
+		}
+		if isProf[i] {
+			g.AddEdge(p, prof, "is_a")
+		}
+		if hasPhD {
+			g.AddEdge(p, phd, "is_a")
+		}
+		if r.Intn(10) < 2 {
+			g.AddEdge(p, scientist, "is_a")
+		}
+		u := pick(r, universities)
+		g.AddEdge(p, u, "graduated_from")
+		if isProf[i] {
+			g.AddEdge(p, u, "works_at")
+		}
+		g.AddEdge(p, pick(r, countries), "citizen_of")
+		if r.Intn(20) == 0 {
+			g.AddEdge(p, pick(r, prizes), "won")
+			if r.Intn(3) == 0 {
+				g.AddEdge(p, pick(r, prizes), "won")
+			}
+		}
+	}
+
+	// Advisor lineages: professors advise 0..8 students with lower ids
+	// drawn nearby (academia is clustered).
+	for i, p := range people {
+		if !isProf[i] {
+			continue
+		}
+		n := r.Intn(9)
+		for k := 0; k < n; k++ {
+			span := 200
+			lo := i - span
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + span
+			if hi > cfg.People {
+				hi = cfg.People
+			}
+			s := people[lo+r.Intn(hi-lo)]
+			if s != p {
+				g.AddEdge(p, s, "advisor")
+			}
+		}
+	}
+	g.Finalize()
+	return g
+}

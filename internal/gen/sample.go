@@ -1,0 +1,145 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// SampledPattern generates a QGP by extracting a connected subgraph of the
+// graph itself and lifting it to a pattern, so the stratified pattern is
+// satisfiable by construction (the extraction is one embedding). It is
+// the workload generator for label-rich synthetic graphs where frequent
+// feature composition often yields unsatisfiable patterns. Quantifier and
+// negated-edge placement follow the same rules as Pattern.
+func SampledPattern(g *graph.Graph, cfg PatternConfig) *core.Pattern {
+	if g.NumEdges() == 0 {
+		panic("gen: cannot sample patterns from an edgeless graph")
+	}
+	for attempt := 0; ; attempt++ {
+		r := rand.New(rand.NewSource(cfg.Seed + int64(attempt)*6151))
+		p := trySample(r, g, cfg)
+		if p != nil {
+			return p
+		}
+		if attempt > 300 {
+			panic("gen: could not sample a valid pattern")
+		}
+	}
+}
+
+func trySample(r *rand.Rand, g *graph.Graph, cfg PatternConfig) *core.Pattern {
+	// Anchor at a node with out-edges so the focus can carry a quantifier.
+	var focus graph.NodeID
+	ok := false
+	for tries := 0; tries < 50; tries++ {
+		focus = graph.NodeID(r.Intn(g.NumNodes()))
+		if g.OutDegree(focus) > 0 {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return nil
+	}
+
+	sample := []graph.NodeID{focus}
+	index := map[graph.NodeID]int{focus: 0}
+	type pedge struct {
+		from, to int
+		label    string
+	}
+	var edges []pedge
+
+	// Random connected growth copying real edges.
+	for len(sample) < cfg.Nodes {
+		ui := r.Intn(len(sample))
+		u := sample[ui]
+		all := g.Out(u)
+		dir := true
+		if len(all) == 0 || (len(g.In(u)) > 0 && r.Intn(3) == 0) {
+			all = g.In(u)
+			dir = false
+		}
+		if len(all) == 0 {
+			return nil
+		}
+		ge := all[r.Intn(len(all))]
+		w := ge.To
+		if _, seen := index[w]; seen {
+			continue
+		}
+		index[w] = len(sample)
+		sample = append(sample, w)
+		if dir {
+			edges = append(edges, pedge{ui, index[w], g.LabelName(ge.Label)})
+		} else {
+			edges = append(edges, pedge{index[w], ui, g.LabelName(ge.Label)})
+		}
+	}
+
+	// Closing edges: real edges between sampled nodes.
+	for tries := 0; len(edges) < cfg.Edges && tries < 30; tries++ {
+		ui := r.Intn(len(sample))
+		u := sample[ui]
+		outs := g.Out(u)
+		if len(outs) == 0 {
+			continue
+		}
+		ge := outs[r.Intn(len(outs))]
+		wi, seen := index[ge.To]
+		if !seen || wi == ui {
+			continue
+		}
+		dup := false
+		for _, e := range edges {
+			if e.from == ui && e.to == wi && e.label == g.LabelName(ge.Label) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			edges = append(edges, pedge{ui, wi, g.LabelName(ge.Label)})
+		}
+	}
+
+	p := core.NewPattern()
+	for i, v := range sample {
+		p.AddNode(nodeName(i), g.NodeLabelName(v))
+	}
+	quantified := 0
+	for _, e := range edges {
+		q := core.Exists()
+		if e.from == 0 && quantified < 2 && cfg.RatioBP > 0 {
+			q = core.Ratio(core.GE, cfg.RatioBP)
+			quantified++
+		}
+		p.Edges = append(p.Edges, core.PEdge{From: e.from, To: e.to, Label: e.label, Q: q})
+	}
+	if quantified == 0 {
+		return nil
+	}
+
+	// Negated branches: copy a real out-edge type to a fresh leaf.
+	for k := 0; k < cfg.NegEdges; k++ {
+		ui := r.Intn(len(sample))
+		outs := g.Out(sample[ui])
+		if len(outs) == 0 {
+			return nil
+		}
+		ge := outs[r.Intn(len(outs))]
+		wName := fmt.Sprintf("neg%d", k)
+		p.AddNode(wName, g.NodeLabelName(ge.To))
+		p.AddEdge(nodeName(ui), wName, g.LabelName(ge.Label), core.Negated())
+	}
+
+	if p.Validate() != nil {
+		return nil
+	}
+	if pi, _ := p.Pi(); !pi.Connected() || len(pi.Nodes) != cfg.Nodes {
+		return nil
+	}
+	return p
+}

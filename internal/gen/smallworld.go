@@ -1,0 +1,80 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// SmallWorldConfig controls the GTgraph-style synthetic generator: |V|
+// nodes, |E| edges, node and edge labels drawn from an alphabet of Labels
+// symbols (the paper uses 30).
+type SmallWorldConfig struct {
+	Nodes  int
+	Edges  int
+	Labels int
+	Seed   int64
+}
+
+// SmallWorld generates a labeled small-world graph: edges follow
+// preferential attachment (hub formation) with a rewiring fraction for
+// local clustering, mirroring the GTgraph generator the paper uses.
+func SmallWorld(cfg SmallWorldConfig) *graph.Graph {
+	if cfg.Labels <= 0 {
+		cfg.Labels = 30
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.Nodes)
+
+	nodeLabels := make([]string, cfg.Labels)
+	edgeLabels := make([]string, cfg.Labels)
+	for i := range nodeLabels {
+		nodeLabels[i] = fmt.Sprintf("L%d", i)
+		edgeLabels[i] = fmt.Sprintf("r%d", i)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		// Zipf-ish label distribution: low label ids are frequent.
+		g.AddNode(nodeLabels[skewedIndex(r, cfg.Labels)])
+	}
+
+	// Preferential attachment: targets drawn from a growing pool in which
+	// high-degree nodes appear more often; 20% of edges rewire uniformly.
+	pool := make([]graph.NodeID, 0, 2*cfg.Edges)
+	for i := 0; i < cfg.Nodes && i < 64; i++ {
+		pool = append(pool, graph.NodeID(i))
+	}
+	for i := 0; i < cfg.Edges; i++ {
+		from := graph.NodeID(r.Intn(cfg.Nodes))
+		var to graph.NodeID
+		if r.Intn(5) == 0 || len(pool) == 0 {
+			to = graph.NodeID(r.Intn(cfg.Nodes))
+		} else {
+			to = pool[r.Intn(len(pool))]
+		}
+		if from == to {
+			continue
+		}
+		g.AddEdge(from, to, edgeLabels[skewedIndex(r, cfg.Labels)])
+		pool = append(pool, to)
+		if len(pool) < 2*cfg.Edges {
+			pool = append(pool, from)
+		}
+	}
+	g.Finalize()
+	return g
+}
+
+// skewedIndex draws an index in [0, n) with probability decaying roughly
+// geometrically, so that a few labels dominate (as in real property
+// graphs).
+func skewedIndex(r *rand.Rand, n int) int {
+	i := 0
+	for i < n-1 && r.Intn(3) != 0 {
+		i++
+		if i >= 8 { // flatten the tail
+			return 8 + r.Intn(n-8)
+		}
+	}
+	return i
+}

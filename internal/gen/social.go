@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// SocialConfig controls the Pokec-like social graph generator.
+type SocialConfig struct {
+	Persons   int
+	AvgFollow int // mean follow out-degree (Pokec ≈ 14)
+	Products  int
+	Albums    int
+	Clubs     int
+	Cities    int
+	Hobbies   int
+	Seed      int64
+}
+
+// DefaultSocial returns a laptop-scale configuration whose shape matches
+// the Pokec workload: skewed follow degrees, a product/album/club/city
+// entity layer, and the follow/like/recom/buy/bad_rating/in edge types the
+// paper's example patterns use.
+func DefaultSocial(persons int, seed int64) SocialConfig {
+	return SocialConfig{
+		Persons:   persons,
+		AvgFollow: 14,
+		Products:  persons/100 + 5,
+		Albums:    persons/100 + 5,
+		Clubs:     persons/200 + 3,
+		Cities:    persons/500 + 3,
+		Hobbies:   persons/200 + 3,
+		Seed:      seed,
+	}
+}
+
+// Social generates the social graph. Person behaviour is community
+// correlated: each person belongs to one of ~sqrt(P) communities; follows
+// stay inside the community 70% of the time, and people in the same
+// community tend to like the same albums and recommend the same products —
+// this is what makes ratio quantifiers (≥ p% of followees like y) and
+// association rules discover non-trivial structure.
+func Social(cfg SocialConfig) *graph.Graph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	est := cfg.Persons * (cfg.AvgFollow + 4)
+	g := graph.New(cfg.Persons + cfg.Products + cfg.Albums + cfg.Clubs + cfg.Cities + cfg.Hobbies)
+	_ = est
+
+	persons := addNodes(g, cfg.Persons, "person")
+	products := addNodes(g, cfg.Products, "product")
+	albums := addNodes(g, cfg.Albums, "album")
+	clubs := addNodes(g, cfg.Clubs, "club")
+	cities := addNodes(g, cfg.Cities, "city")
+	hobbies := addNodes(g, cfg.Hobbies, "hobby")
+
+	nComm := 1
+	for nComm*nComm < cfg.Persons {
+		nComm++
+	}
+	comm := make([]int, cfg.Persons)
+	// Per-community preferences.
+	commAlbum := make([]graph.NodeID, nComm)
+	commProduct := make([]graph.NodeID, nComm)
+	commHobby := make([]graph.NodeID, nComm)
+	commClub := make([]graph.NodeID, nComm)
+	for c := 0; c < nComm; c++ {
+		commAlbum[c] = pick(r, albums)
+		commProduct[c] = pick(r, products)
+		commHobby[c] = pick(r, hobbies)
+		commClub[c] = pick(r, clubs)
+	}
+	members := make([][]graph.NodeID, nComm)
+	for i, p := range persons {
+		c := r.Intn(nComm)
+		comm[i] = c
+		members[c] = append(members[c], p)
+	}
+
+	for i, p := range persons {
+		c := comm[i]
+		g.AddEdge(p, pick(r, cities), "in")
+		if r.Intn(3) == 0 {
+			g.AddEdge(p, commClub[c], "in")
+		}
+		// Follow edges: mostly intra-community.
+		deg := zipfOutDegree(r, cfg.AvgFollow, 20)
+		for k := 0; k < deg; k++ {
+			var q graph.NodeID
+			if r.Intn(10) < 7 && len(members[c]) > 1 {
+				q = pick(r, members[c])
+			} else {
+				q = pick(r, persons)
+			}
+			if q != p {
+				g.AddEdge(p, q, "follow")
+			}
+		}
+		// Tastes: community album/hobby with high probability, plus noise.
+		if r.Intn(10) < 8 {
+			g.AddEdge(p, commAlbum[c], "like")
+		}
+		if r.Intn(10) < 3 {
+			g.AddEdge(p, pick(r, albums), "like")
+		}
+		if r.Intn(10) < 5 {
+			g.AddEdge(p, commHobby[c], "like")
+		}
+		// Product interactions.
+		if r.Intn(10) < 6 {
+			g.AddEdge(p, commProduct[c], "recom")
+		}
+		if r.Intn(10) < 2 {
+			g.AddEdge(p, pick(r, products), "recom")
+		}
+		if r.Intn(10) < 3 {
+			g.AddEdge(p, commProduct[c], "buy")
+		}
+		if r.Intn(20) == 0 {
+			g.AddEdge(p, pick(r, products), "bad_rating")
+		}
+	}
+	g.Finalize()
+	return g
+}

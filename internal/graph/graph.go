@@ -1,0 +1,340 @@
+// Package graph provides the labeled, directed graph substrate used by the
+// quantified-matching system: compact adjacency storage indexed by edge
+// label, label interning, node-label indexes, d-hop neighborhoods, induced
+// subgraphs and text serialization.
+//
+// A Graph is built incrementally with AddNode/AddEdge and must be finalized
+// with Finalize before queries. Finalize sorts adjacency lists (by label,
+// then endpoint) and builds the label index; it is idempotent.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a Graph. IDs are dense, starting at 0.
+type NodeID int32
+
+// LabelID identifies an interned label (node or edge) within a Graph.
+type LabelID int32
+
+// NoLabel is returned by lookups for labels that are not present.
+const NoLabel LabelID = -1
+
+// Edge is one half-edge in an adjacency list: the other endpoint and the
+// edge label.
+type Edge struct {
+	To    NodeID
+	Label LabelID
+}
+
+// Graph is a labeled directed multigraph. The zero value is an empty graph
+// ready for use.
+type Graph struct {
+	interner  Interner
+	nodeLabel []LabelID
+	out       [][]Edge
+	in        [][]Edge
+	numEdges  int
+
+	finalized bool
+	byLabel   map[LabelID][]NodeID
+	// outCount[v][label] = number of distinct out-neighbors of v via label,
+	// i.e. |Me(v)| in the paper's notation. Built by Finalize.
+	outCount []map[LabelID]int32
+}
+
+// New returns an empty graph with capacity hints for n nodes.
+func New(n int) *Graph {
+	return &Graph{
+		nodeLabel: make([]LabelID, 0, n),
+		out:       make([][]Edge, 0, n),
+		in:        make([][]Edge, 0, n),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodeLabel) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Size returns |G| = |V| + |E|, the size measure used by the paper.
+func (g *Graph) Size() int { return g.NumNodes() + g.NumEdges() }
+
+// Interner exposes the graph's label interner (read-only use by callers).
+func (g *Graph) Interner() *Interner { return &g.interner }
+
+// Label interns s and returns its id.
+func (g *Graph) Label(s string) LabelID { return g.interner.Intern(s) }
+
+// LookupLabel returns the id for s, or NoLabel if s was never interned.
+func (g *Graph) LookupLabel(s string) LabelID { return g.interner.Lookup(s) }
+
+// LabelName returns the string for an interned label id.
+func (g *Graph) LabelName(id LabelID) string { return g.interner.Name(id) }
+
+// AddNode appends a node with the given label and returns its id.
+func (g *Graph) AddNode(label string) NodeID {
+	return g.AddNodeLabel(g.Label(label))
+}
+
+// AddNodeLabel appends a node with an already-interned label.
+func (g *Graph) AddNodeLabel(l LabelID) NodeID {
+	id := NodeID(len(g.nodeLabel))
+	g.nodeLabel = append(g.nodeLabel, l)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.finalized = false
+	return id
+}
+
+// AddEdge adds a directed edge from -> to with the given label string.
+func (g *Graph) AddEdge(from, to NodeID, label string) {
+	g.AddEdgeLabel(from, to, g.Label(label))
+}
+
+// AddEdgeLabel adds a directed edge with an already-interned label.
+// Duplicate (from, to, label) triples are ignored at Finalize time.
+func (g *Graph) AddEdgeLabel(from, to NodeID, l LabelID) {
+	g.out[from] = append(g.out[from], Edge{To: to, Label: l})
+	g.in[to] = append(g.in[to], Edge{To: from, Label: l})
+	g.numEdges++
+	g.finalized = false
+}
+
+// NodeLabel returns the label id of node v.
+func (g *Graph) NodeLabel(v NodeID) LabelID { return g.nodeLabel[v] }
+
+// NodeLabelName returns the label string of node v.
+func (g *Graph) NodeLabelName(v NodeID) string { return g.interner.Name(g.nodeLabel[v]) }
+
+// Finalize sorts adjacency, removes duplicate parallel edges with identical
+// labels, and builds the node-label and out-degree-per-label indexes.
+func (g *Graph) Finalize() {
+	if g.finalized {
+		return
+	}
+	dedup := func(adj [][]Edge) int {
+		removed := 0
+		for v := range adj {
+			es := adj[v]
+			sort.Slice(es, func(i, j int) bool {
+				if es[i].Label != es[j].Label {
+					return es[i].Label < es[j].Label
+				}
+				return es[i].To < es[j].To
+			})
+			w := 0
+			for i, e := range es {
+				if i > 0 && e == es[i-1] {
+					removed++
+					continue
+				}
+				es[w] = e
+				w++
+			}
+			adj[v] = es[:w]
+		}
+		return removed
+	}
+	removedOut := dedup(g.out)
+	dedup(g.in)
+	g.numEdges -= removedOut
+
+	g.byLabel = make(map[LabelID][]NodeID)
+	for v, l := range g.nodeLabel {
+		g.byLabel[l] = append(g.byLabel[l], NodeID(v))
+	}
+	g.outCount = make([]map[LabelID]int32, len(g.out))
+	for v, es := range g.out {
+		m := make(map[LabelID]int32, 4)
+		for _, e := range es {
+			m[e.Label]++
+		}
+		g.outCount[v] = m
+	}
+	g.finalized = true
+}
+
+func (g *Graph) mustFinal() {
+	if !g.finalized {
+		panic("graph: query before Finalize")
+	}
+}
+
+// Out returns the sorted out-adjacency of v. The slice must not be modified.
+func (g *Graph) Out(v NodeID) []Edge { return g.out[v] }
+
+// In returns the sorted in-adjacency of v (Edge.To is the source node).
+func (g *Graph) In(v NodeID) []Edge { return g.in[v] }
+
+// OutDegree returns the total out-degree of v.
+func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
+
+// InDegree returns the total in-degree of v.
+func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+
+// OutByLabel returns the contiguous sub-slice of Out(v) whose edges carry
+// label l. This is Me(v) from the paper for an edge labeled l.
+func (g *Graph) OutByLabel(v NodeID, l LabelID) []Edge {
+	g.mustFinal()
+	es := g.out[v]
+	lo := sort.Search(len(es), func(i int) bool { return es[i].Label >= l })
+	hi := sort.Search(len(es), func(i int) bool { return es[i].Label > l })
+	return es[lo:hi]
+}
+
+// InByLabel returns the in-edges of v carrying label l.
+func (g *Graph) InByLabel(v NodeID, l LabelID) []Edge {
+	g.mustFinal()
+	es := g.in[v]
+	lo := sort.Search(len(es), func(i int) bool { return es[i].Label >= l })
+	hi := sort.Search(len(es), func(i int) bool { return es[i].Label > l })
+	return es[lo:hi]
+}
+
+// CountOut returns |Me(v)| — the number of out-edges of v labeled l.
+func (g *Graph) CountOut(v NodeID, l LabelID) int {
+	g.mustFinal()
+	return int(g.outCount[v][l])
+}
+
+// HasEdge reports whether the edge (from, to) with label l exists.
+func (g *Graph) HasEdge(from, to NodeID, l LabelID) bool {
+	es := g.OutByLabel(from, l)
+	i := sort.Search(len(es), func(i int) bool { return es[i].To >= to })
+	return i < len(es) && es[i].To == to
+}
+
+// NodesByLabel returns all nodes carrying label l. The slice must not be
+// modified.
+func (g *Graph) NodesByLabel(l LabelID) []NodeID {
+	g.mustFinal()
+	return g.byLabel[l]
+}
+
+// NodesByLabelName is NodesByLabel for a label string; it returns nil when
+// the label does not occur.
+func (g *Graph) NodesByLabelName(s string) []NodeID {
+	l := g.LookupLabel(s)
+	if l == NoLabel {
+		return nil
+	}
+	return g.NodesByLabel(l)
+}
+
+// Labels returns the number of distinct interned labels.
+func (g *Graph) Labels() int { return g.interner.Len() }
+
+// Neighborhood returns the set of nodes within d undirected hops of v
+// (including v itself), in ascending order. This is the node set of Nd(v).
+func (g *Graph) Neighborhood(v NodeID, d int) []NodeID {
+	g.mustFinal()
+	seen := map[NodeID]bool{v: true}
+	frontier := []NodeID{v}
+	for hop := 0; hop < d; hop++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, e := range g.out[u] {
+				if !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+			for _, e := range g.in[u] {
+				if !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]NodeID, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NeighborhoodSize returns |Nd(v)| measured as nodes + edges of the induced
+// subgraph, the size measure used by DPar's knapsack weights.
+func (g *Graph) NeighborhoodSize(v NodeID, d int) int {
+	nodes := g.Neighborhood(v, d)
+	in := make(map[NodeID]bool, len(nodes))
+	for _, u := range nodes {
+		in[u] = true
+	}
+	edges := 0
+	for _, u := range nodes {
+		for _, e := range g.out[u] {
+			if in[e.To] {
+				edges++
+			}
+		}
+	}
+	return len(nodes) + edges
+}
+
+// Induced returns the subgraph induced by nodes, along with the mapping from
+// new (local) ids to the original ids. Labels share the same interner values
+// by name. The input need not be sorted; duplicates are ignored.
+func (g *Graph) Induced(nodes []NodeID) (*Graph, []NodeID) {
+	g.mustFinal()
+	local := make(map[NodeID]NodeID, len(nodes))
+	sub := New(len(nodes))
+	var toGlobal []NodeID
+	for _, v := range nodes {
+		if _, ok := local[v]; ok {
+			continue
+		}
+		id := sub.AddNode(g.NodeLabelName(v))
+		local[v] = id
+		toGlobal = append(toGlobal, v)
+	}
+	for _, v := range toGlobal {
+		lv := local[v]
+		for _, e := range g.out[v] {
+			if lu, ok := local[e.To]; ok {
+				sub.AddEdge(lv, lu, g.interner.Name(e.Label))
+			}
+		}
+	}
+	sub.Finalize()
+	return sub, toGlobal
+}
+
+// Stats summarizes a graph for logging and the experiment reports.
+type Stats struct {
+	Nodes, Edges int
+	NodeLabels   int
+	MaxOutDeg    int
+	AvgDeg       float64
+}
+
+// ComputeStats returns summary statistics of the graph.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	seen := map[LabelID]bool{}
+	for _, l := range g.nodeLabel {
+		seen[l] = true
+	}
+	s.NodeLabels = len(seen)
+	for v := range g.out {
+		if d := len(g.out[v]); d > s.MaxOutDeg {
+			s.MaxOutDeg = d
+		}
+	}
+	if s.Nodes > 0 {
+		s.AvgDeg = float64(s.Edges) / float64(s.Nodes)
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d labels=%d maxOut=%d avgDeg=%.2f",
+		s.Nodes, s.Edges, s.NodeLabels, s.MaxOutDeg, s.AvgDeg)
+}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+// failWriter fails after n bytes.
+type failWriter struct {
+	n   int
+	err error
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteToPropagatesErrors(t *testing.T) {
+	g := New(3)
+	a := g.AddNode("x")
+	b := g.AddNode("y")
+	g.AddEdge(a, b, "r")
+	g.Finalize()
+
+	wantErr := errors.New("disk full")
+	// Fail at various points: header, node lines, edge lines, flush.
+	for _, budget := range []int{0, 5, 12, 20} {
+		w := &failWriter{n: budget, err: wantErr}
+		if _, err := g.WriteTo(w); !errors.Is(err, wantErr) {
+			t.Errorf("budget %d: WriteTo error = %v, want %v", budget, err, wantErr)
+		}
+	}
+}
+
+func TestWriteToByteCount(t *testing.T) {
+	g := New(2)
+	a := g.AddNode("x")
+	b := g.AddNode("y")
+	g.AddEdge(a, b, "r")
+	g.Finalize()
+
+	var sink countWriter
+	n, err := g.WriteTo(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(sink) {
+		t.Fatalf("WriteTo reported %d bytes, sink got %d", n, int64(sink))
+	}
+}
+
+type countWriter int64
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	*c += countWriter(len(p))
+	return len(p), nil
+}

@@ -1,0 +1,91 @@
+package match
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Ablation benchmarks for QMatch's design choices (DESIGN.md §4): each
+// lever — simulation-based candidate filtering, the quantifier-threshold
+// acceptance filter, early acceptance, incremental negation handling — is
+// toggled independently against the same seeded workload. Run with
+//
+//	go test -bench=Ablation -benchmem ./internal/match/
+
+func ablationWorkload(b *testing.B) (*graph.Graph, *core.Pattern) {
+	b.Helper()
+	g := gen.Social(gen.DefaultSocial(1200, 7))
+	q := gen.Pattern(g, gen.PatternConfig{Nodes: 5, Edges: 6, RatioBP: 4000, NegEdges: 1, Seed: 3})
+	return g, q
+}
+
+func runAblation(b *testing.B, cfg evalConfig) {
+	g, q := ablationWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval(g, q, nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFull(b *testing.B) {
+	runAblation(b, evalConfig{useSim: true, quantFilter: true, earlyAccept: true, incremental: true})
+}
+
+func BenchmarkAblationNoSimulation(b *testing.B) {
+	runAblation(b, evalConfig{useSim: false, quantFilter: true, earlyAccept: true, incremental: true})
+}
+
+func BenchmarkAblationNoQuantFilter(b *testing.B) {
+	runAblation(b, evalConfig{useSim: true, quantFilter: false, earlyAccept: true, incremental: true})
+}
+
+func BenchmarkAblationNoEarlyAccept(b *testing.B) {
+	runAblation(b, evalConfig{useSim: true, quantFilter: true, earlyAccept: false, incremental: true})
+}
+
+func BenchmarkAblationNoIncremental(b *testing.B) {
+	runAblation(b, evalConfig{useSim: true, quantFilter: true, earlyAccept: true, incremental: false})
+}
+
+func BenchmarkAblationNone(b *testing.B) {
+	runAblation(b, evalConfig{})
+}
+
+// TestAblationConfigsAgree pins the ablation benchmarks to identical
+// answers: every lever is a pure optimization.
+func TestAblationConfigsAgree(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(600, 7))
+	q := gen.Pattern(g, gen.PatternConfig{Nodes: 4, Edges: 5, RatioBP: 4000, NegEdges: 1, Seed: 3})
+	configs := []evalConfig{
+		{useSim: true, quantFilter: true, earlyAccept: true, incremental: true},
+		{useSim: false, quantFilter: true, earlyAccept: true, incremental: true},
+		{useSim: true, quantFilter: false, earlyAccept: true, incremental: true},
+		{useSim: true, quantFilter: true, earlyAccept: false, incremental: true},
+		{useSim: true, quantFilter: true, earlyAccept: true, incremental: false},
+		{},
+	}
+	var want []graph.NodeID
+	for i, cfg := range configs {
+		res, err := eval(g, q, nil, cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if i == 0 {
+			want = res.Matches
+			continue
+		}
+		if len(res.Matches) != len(want) {
+			t.Fatalf("config %d: %d matches, config 0: %d", i, len(res.Matches), len(want))
+		}
+		for j := range want {
+			if res.Matches[j] != want[j] {
+				t.Fatalf("config %d disagrees at %d", i, j)
+			}
+		}
+	}
+}

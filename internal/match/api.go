@@ -1,0 +1,176 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Result is the outcome of a quantified matching run: the sorted matches
+// of the query focus, Q(xo, G), and the work metrics.
+type Result struct {
+	Matches []graph.NodeID
+	Metrics Metrics
+}
+
+// Options tunes an evaluation.
+type Options struct {
+	// FocusRestrict, when non-empty, restricts evaluation to these focus
+	// candidates. Parallel workers use it to evaluate only the nodes their
+	// fragment covers.
+	FocusRestrict []graph.NodeID
+	// ExtensionBudget, when > 0, aborts the evaluation with
+	// ErrBudgetExceeded once the engine has attempted that many candidate
+	// extensions. Use it to bound worst-case exponential searches (cost
+	// probes, interactive time limits).
+	ExtensionBudget int64
+	// OrderBy, when non-nil, proposes a matching order for each positive
+	// pattern the evaluation compiles (Π(Q) and every positified Q+e). It
+	// receives the pattern and returns a permutation of its node indexes;
+	// the engine follows the proposal as far as connectivity allows and
+	// falls back to its default breadth-first order when the proposal is
+	// nil or not a permutation. internal/plan provides a statistics-driven
+	// implementation.
+	OrderBy func(p *core.Pattern) []int
+}
+
+// ErrBudgetExceeded is returned when Options.ExtensionBudget ran out
+// before the evaluation completed. Partial results are discarded: the
+// exact semantics admit no sound partial answer.
+var ErrBudgetExceeded = fmt.Errorf("match: extension budget exceeded")
+
+// combineRestrictions intersects the caller's FocusRestrict option with an
+// algorithm-internal restriction (IncQMatch). A nil result means no
+// restriction.
+func combineRestrictions(n int, opts *Options, internal []graph.NodeID) *bitset.Set {
+	var fromOpts, fromInternal *bitset.Set
+	if opts != nil && len(opts.FocusRestrict) > 0 {
+		fromOpts = toBitset(opts.FocusRestrict, n)
+	}
+	if internal != nil {
+		fromInternal = toBitset(internal, n)
+	}
+	switch {
+	case fromOpts == nil:
+		return fromInternal
+	case fromInternal == nil:
+		return fromOpts
+	default:
+		fromOpts.IntersectWith(fromInternal)
+		return fromOpts
+	}
+}
+
+// QMatch evaluates a QGP with the paper's optimized algorithm (§4):
+// simulation-filtered candidates, quantifier-threshold pruning of the
+// acceptance search, early termination, and incremental IncQMatch
+// processing of negated edges against the cached Π(Q) answers.
+func QMatch(g *graph.Graph, q *core.Pattern, opts *Options) (*Result, error) {
+	return eval(g, q, opts, evalConfig{useSim: true, quantFilter: true, earlyAccept: true, incremental: true})
+}
+
+// QMatchN is QMatch without IncQMatch: each positified pattern Q+e is
+// re-evaluated from scratch over the full candidate space (the ablation
+// baseline of Exp-1 and Exp-2).
+func QMatchN(g *graph.Graph, q *core.Pattern, opts *Options) (*Result, error) {
+	return eval(g, q, opts, evalConfig{useSim: true, quantFilter: true, earlyAccept: true, incremental: false})
+}
+
+// Enum is the enumerate-then-verify baseline (§7): a conventional
+// subgraph-isomorphism engine (with the same simulation-based candidate
+// filtering as QMatch, standing in for the state-of-the-art engine the
+// paper uses) enumerates all matches of the stratified pattern and
+// verifies quantifiers afterwards — no quantifier-aware pruning, no early
+// acceptance, no incremental negation handling.
+func Enum(g *graph.Graph, q *core.Pattern, opts *Options) (*Result, error) {
+	return eval(g, q, opts, evalConfig{useSim: true, quantFilter: false, earlyAccept: false, incremental: false})
+}
+
+type evalConfig struct {
+	useSim      bool
+	quantFilter bool
+	earlyAccept bool
+	incremental bool
+}
+
+func eval(g *graph.Graph, q *core.Pattern, opts *Options, cfg evalConfig) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("match: %w", err)
+	}
+	res := &Result{}
+
+	pi, _ := q.Pi()
+	if !pi.Connected() {
+		return nil, fmt.Errorf("match: Π(Q) is disconnected; the pattern cannot be evaluated")
+	}
+
+	base, err := evalPattern(g, pi, opts, cfg, nil, &res.Metrics)
+	if err != nil {
+		return nil, err
+	}
+
+	neg := q.NegatedEdges()
+	if len(neg) == 0 || len(base) == 0 {
+		res.Matches = base
+		return res, nil
+	}
+
+	// Q(xo, G) = Π(Q)(xo, G) \ ⋃e Π(Q+e)(xo, G). Only the intersection with
+	// the base answers matters, so IncQMatch restricts the focus candidates
+	// of each positified pattern to the cached Π(Q) matches.
+	excluded := make(map[graph.NodeID]bool)
+	for _, ei := range neg {
+		pp, _ := q.PiPlus(ei)
+		if !pp.Connected() {
+			return nil, fmt.Errorf("match: Π(Q+e) is disconnected for edge %d", ei)
+		}
+		var restrict []graph.NodeID
+		if cfg.incremental {
+			res.Metrics.IncRuns++
+			restrict = base
+			res.Metrics.IncCandidates += len(base)
+		}
+		minus, err := evalPattern(g, pp, opts, cfg, restrict, &res.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range minus {
+			excluded[v] = true
+		}
+	}
+	out := base[:0:0]
+	for _, v := range base {
+		if !excluded[v] {
+			out = append(out, v)
+		}
+	}
+	res.Matches = out
+	return res, nil
+}
+
+// evalPattern compiles and evaluates one positive pattern. restrict, when
+// non-nil, limits focus candidates (incremental evaluation); the caller's
+// FocusRestrict option is applied on top.
+func evalPattern(g *graph.Graph, p *core.Pattern, opts *Options, cfg evalConfig, restrict []graph.NodeID, m *Metrics) ([]graph.NodeID, error) {
+	var pref []int
+	if opts != nil && opts.OrderBy != nil {
+		pref = opts.OrderBy(p)
+	}
+	pr, err := compile(g, p, cfg.useSim, cfg.quantFilter, pref)
+	if err != nil {
+		return nil, nil
+	}
+	if opts != nil {
+		pr.budget = opts.ExtensionBudget
+	}
+	set := combineRestrictions(g.NumNodes(), opts, restrict)
+	answers := evalPositive(pr, set, cfg.earlyAccept, m)
+	if pr.budgetExceeded {
+		return nil, ErrBudgetExceeded
+	}
+	sort.Slice(answers, func(i, j int) bool { return answers[i] < answers[j] })
+	return answers, nil
+}

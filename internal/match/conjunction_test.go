@@ -1,0 +1,137 @@
+package match
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// The paper's §2.2 remark names "conjunctions of predicates" on one edge
+// as a syntactic extension. The model already expresses them as parallel
+// pattern edges with the same endpoints and label but different
+// quantifiers: both edges share the same child set Me(v), so each
+// quantifier applies to the same count. One caveat is inherent to the
+// encoding: the conjunct edges need pairwise-distinct images under the
+// isomorphism, so k parallel edges imply at least k distinct children —
+// the encoding expresses "≥ a AND ≤ b" with a ≥ k. Range predicates
+// (a ≥ 2, two conjuncts) satisfy this naturally.
+
+// conjGraph builds persons with 1, 3 and 5 purchased products.
+func conjGraph(t *testing.T) (*graph.Graph, []graph.NodeID) {
+	t.Helper()
+	g := graph.New(16)
+	var persons []graph.NodeID
+	for _, n := range []int{1, 3, 5} {
+		p := g.AddNode("person")
+		persons = append(persons, p)
+		for j := 0; j < n; j++ {
+			prod := g.AddNode("product")
+			g.AddEdge(p, prod, "buy")
+		}
+	}
+	g.Finalize()
+	return g, persons
+}
+
+func conjPattern(lo, hi int) *core.Pattern {
+	q := core.NewPattern()
+	q.AddNode("xo", "person")
+	q.AddNode("y1", "product")
+	q.AddNode("y2", "product")
+	q.AddEdge("xo", "y1", "buy", core.Count(core.GE, lo))
+	q.AddEdge("xo", "y2", "buy", core.Count(core.LE, hi))
+	return q
+}
+
+func TestConjunctionRangePredicate(t *testing.T) {
+	g, persons := conjGraph(t)
+	cases := []struct {
+		lo, hi int
+		want   []graph.NodeID
+	}{
+		{2, 4, []graph.NodeID{persons[1]}},             // 3 ∈ [2,4]
+		{2, 5, []graph.NodeID{persons[1], persons[2]}}, // 3 and 5
+		{4, 5, []graph.NodeID{persons[2]}},             // only 5
+		{2, 2, nil},                                    // nobody buys exactly 2
+		{3, 3, []graph.NodeID{persons[1]}},             // exactly 3
+		{2, 3, []graph.NodeID{persons[1]}},             // 3 ∈ [2,3]
+	}
+	for _, c := range cases {
+		res, err := QMatch(g, conjPattern(c.lo, c.hi), nil)
+		if err != nil {
+			t.Fatalf("[%d,%d]: %v", c.lo, c.hi, err)
+		}
+		if !reflect.DeepEqual(res.Matches, c.want) && !(len(res.Matches) == 0 && len(c.want) == 0) {
+			t.Errorf("[%d,%d] = %v, want %v", c.lo, c.hi, res.Matches, c.want)
+		}
+	}
+}
+
+// All engines agree on conjunction patterns.
+func TestConjunctionEngineAgreement(t *testing.T) {
+	g, _ := conjGraph(t)
+	q := conjPattern(2, 4)
+	base, err := QMatch(g, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func(*graph.Graph, *core.Pattern, *Options) (*Result, error){
+		"QMatchN": QMatchN, "Enum": Enum,
+	} {
+		res, err := f(g, q, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(res.Matches, base.Matches) {
+			t.Errorf("%s = %v, QMatch = %v", name, res.Matches, base.Matches)
+		}
+	}
+}
+
+// Conjunction with a ratio conjunct: at least 2 buys AND at most 60% of
+// follow-children flagged — mixing numeric and ratio conjuncts on
+// different edges of one focus.
+func TestConjunctionMixedQuantifiers(t *testing.T) {
+	g := graph.New(20)
+	// good: 2 buys, 1 of 3 followees flagged (33% ≤ 60%).
+	good := g.AddNode("person")
+	// bad: 2 buys, 3 of 3 followees flagged (100% > 60%).
+	bad := g.AddNode("person")
+	flagged := g.AddNode("flag")
+	for i := 0; i < 2; i++ {
+		pr := g.AddNode("product")
+		g.AddEdge(good, pr, "buy")
+		pr2 := g.AddNode("product")
+		g.AddEdge(bad, pr2, "buy")
+	}
+	for i := 0; i < 3; i++ {
+		f := g.AddNode("person")
+		g.AddEdge(good, f, "follow")
+		if i == 0 {
+			g.AddEdge(f, flagged, "is")
+		}
+		f2 := g.AddNode("person")
+		g.AddEdge(bad, f2, "follow")
+		g.AddEdge(f2, flagged, "is")
+	}
+	g.Finalize()
+
+	q := core.NewPattern()
+	q.AddNode("xo", "person")
+	q.AddNode("y", "product")
+	q.AddNode("z", "person")
+	q.AddNode("fl", "flag")
+	q.AddEdge("xo", "y", "buy", core.Count(core.GE, 2))
+	q.AddEdge("xo", "z", "follow", core.Ratio(core.LE, 6000))
+	q.AddEdge("z", "fl", "is", core.Exists())
+
+	res, err := QMatch(g, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Matches, []graph.NodeID{good}) {
+		t.Fatalf("matches = %v, want [%d]", res.Matches, good)
+	}
+}

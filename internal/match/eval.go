@@ -1,0 +1,208 @@
+package match
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// realizedKey identifies the pair (pattern edge, image of its source).
+type realizedKey struct {
+	edge int
+	v    graph.NodeID
+}
+
+// evalPositive computes the focus matches of a compiled positive pattern.
+//
+// Semantics (§2.2, flat counting): vx matches iff there is a stratified
+// isomorphism h0 with h0(xo) = vx such that for every edge e = (u, u′),
+// |Me(vx, h0(u), Q)| satisfies f(e), where Me collects the distinct
+// children of h0(u) realized by ANY stratified isomorphism anchored at vx.
+// Counting therefore runs over the stratified-sound candidate sets
+// (pr.cand); only acceptance may use the threshold-filtered sets.
+//
+// restrict, when non-nil, limits the focus candidates (used by IncQMatch
+// and by parallel workers). earlyAccept enables QMatch's early
+// termination: once some isomorphism's images all meet their (monotone)
+// thresholds, vx is accepted without exhausting the search.
+func evalPositive(pr *program, restrict *bitset.Set, earlyAccept bool, m *Metrics) []graph.NodeID {
+	quantOut := make([][]int, len(pr.p.Nodes))
+	for _, ei := range pr.quant {
+		e := pr.p.Edges[ei]
+		quantOut[e.From] = append(quantOut[e.From], ei)
+	}
+
+	var answers []graph.NodeID
+	for _, vx := range pr.focusCandidates() {
+		if restrict != nil && !restrict.Contains(int(vx)) {
+			continue
+		}
+		m.FocusCandidates++
+		if pr.matchFocus(vx, quantOut, earlyAccept, m) {
+			answers = append(answers, vx)
+		}
+		if pr.budgetExceeded {
+			return nil
+		}
+	}
+	return answers
+}
+
+// matchFocus decides whether vx is a match of the focus.
+func (pr *program) matchFocus(vx graph.NodeID, quantOut [][]int, earlyAccept bool, m *Metrics) bool {
+	if len(pr.quant) == 0 {
+		// Conventional pattern: existence of one isomorphism suffices.
+		found := false
+		pr.run(vx, true, m, func([]graph.NodeID) bool {
+			found = true
+			return false
+		})
+		return found
+	}
+
+	realized := make(map[realizedKey]map[graph.NodeID]struct{})
+	foundAny := false
+	accepted := false
+	canEarly := earlyAccept && !pr.hasEQ
+
+	pr.run(vx, false, m, func(assign []graph.NodeID) bool {
+		foundAny = true
+		for _, ei := range pr.quant {
+			e := pr.p.Edges[ei]
+			k := realizedKey{ei, assign[e.From]}
+			s := realized[k]
+			if s == nil {
+				s = make(map[graph.NodeID]struct{})
+				realized[k] = s
+			}
+			s[assign[e.To]] = struct{}{}
+		}
+		if canEarly && pr.imagesSatisfied(assign, realized) {
+			accepted = true
+			m.EarlyAccepts++
+			return false
+		}
+		return true
+	})
+	if accepted {
+		return true
+	}
+	if !foundAny {
+		return false
+	}
+
+	// Counts are now exact. Search for one isomorphism whose images are all
+	// count-valid, pruning candidates through the per-node count filter.
+	m.AcceptSearches++
+	countOK := func(u int, w graph.NodeID) bool {
+		for _, ei := range quantOut[u] {
+			e := pr.p.Edges[ei]
+			total := pr.g.CountOut(w, pr.edgeLabel[ei])
+			if !e.Q.Satisfied(len(realized[realizedKey{ei, w}]), total) {
+				return false
+			}
+		}
+		return true
+	}
+	if !countOK(pr.p.Focus, vx) {
+		return false
+	}
+	ok := false
+	pr.runFiltered(vx, m, countOK, func([]graph.NodeID) bool {
+		ok = true
+		return false
+	})
+	return ok
+}
+
+// imagesSatisfied reports whether every image of the current isomorphism
+// already meets its quantifier with the (monotonically growing) realized
+// counts. Only sound for GE and universal-EQ quantifiers.
+func (pr *program) imagesSatisfied(assign []graph.NodeID, realized map[realizedKey]map[graph.NodeID]struct{}) bool {
+	for _, ei := range pr.quant {
+		e := pr.p.Edges[ei]
+		v := assign[e.From]
+		total := pr.g.CountOut(v, pr.edgeLabel[ei])
+		need, ok := e.Q.Threshold(total)
+		if !ok {
+			return false
+		}
+		cur := len(realized[realizedKey{ei, v}])
+		switch {
+		case e.Q.Op() == core.GE:
+			if cur < need {
+				return false
+			}
+		default: // universal EQ: need == total, counts cannot overshoot
+			if cur != need {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// runFiltered is run over the acceptance sets with an additional per-node
+// candidate predicate.
+func (pr *program) runFiltered(vx graph.NodeID, m *Metrics, filter func(u int, w graph.NodeID) bool, onIso func([]graph.NodeID) bool) {
+	pr.version++
+	if pr.version == 0 {
+		for i := range pr.used {
+			pr.used[i] = 0
+		}
+		pr.version = 1
+	}
+	assign := make([]graph.NodeID, len(pr.p.Nodes))
+	assign[pr.p.Focus] = vx
+	pr.used[vx] = pr.version
+
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(pr.order) {
+			m.Verifications++
+			return onIso(assign)
+		}
+		u := pr.order[i]
+		a := pr.anchors[i]
+		e := pr.p.Edges[a.edge]
+		l := pr.edgeLabel[a.edge]
+		var edges []graph.Edge
+		if a.out {
+			edges = pr.g.OutByLabel(assign[e.From], l)
+		} else {
+			edges = pr.g.InByLabel(assign[e.To], l)
+		}
+		for _, ge := range edges {
+			w := ge.To
+			m.Extensions++
+			if pr.budget > 0 && m.Extensions > pr.budget {
+				pr.budgetExceeded = true
+				return false
+			}
+			if pr.used[w] == pr.version || !pr.accept[u].Contains(int(w)) {
+				continue
+			}
+			if !filter(u, w) || !pr.checkBoundEdges(i, u, w, assign) {
+				continue
+			}
+			assign[u] = w
+			pr.used[w] = pr.version
+			cont := rec(i + 1)
+			pr.used[w] = pr.version - 1
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(1)
+}
+
+// toBitset converts a node list into a bitset of capacity n.
+func toBitset(nodes []graph.NodeID, n int) *bitset.Set {
+	s := bitset.New(n)
+	for _, v := range nodes {
+		s.Add(int(v))
+	}
+	return s
+}

@@ -1,0 +1,123 @@
+package match
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+)
+
+// End-to-end tests of the ≤ / ≠ quantifier extension on the paper's G1.
+
+func TestLEOnG1(t *testing.T) {
+	// At most 2 recommending followees: x1 (1 of them) and x2 (2) qualify,
+	// x3 has 3 (v2, v3 recommend; v4 does not → count 2... with v4 not a
+	// recommender x3's count is 2 as well, so x3 qualifies too).
+	f := fixture.NewG1()
+	p := core.NewPattern()
+	p.AddNode("xo", "person")
+	p.AddNode("z", "person")
+	p.AddNode("r", "Redmi 2A")
+	p.AddEdge("xo", "z", "follow", core.Count(core.LE, 2))
+	p.AddEdge("z", "r", "recom", core.Exists())
+	assertMatches(t, f.G, p, ids(f.X1, f.X2, f.X3))
+}
+
+func TestLEOnG1Tight(t *testing.T) {
+	// At most 1 recommending followee: only x1.
+	f := fixture.NewG1()
+	p := core.NewPattern()
+	p.AddNode("xo", "person")
+	p.AddNode("z", "person")
+	p.AddNode("r", "Redmi 2A")
+	p.AddEdge("xo", "z", "follow", core.Count(core.LE, 1))
+	p.AddEdge("z", "r", "recom", core.Exists())
+	assertMatches(t, f.G, p, ids(f.X1))
+}
+
+func TestNEOnG1(t *testing.T) {
+	// Not exactly 2 recommending followees: x1 (count 1) qualifies; x2 and
+	// x3 (count 2 each) do not.
+	f := fixture.NewG1()
+	p := core.NewPattern()
+	p.AddNode("xo", "person")
+	p.AddNode("z", "person")
+	p.AddNode("r", "Redmi 2A")
+	p.AddEdge("xo", "z", "follow", core.Count(core.NE, 2))
+	p.AddEdge("z", "r", "recom", core.Exists())
+	assertMatches(t, f.G, p, ids(f.X1))
+}
+
+func TestLERatioOnG1(t *testing.T) {
+	// At most 70% of followees recommend: x3 (2 of 3 ≈ 67%) qualifies;
+	// x1 (1/1) and x2 (2/2) are at 100%.
+	f := fixture.NewG1()
+	p := core.NewPattern()
+	p.AddNode("xo", "person")
+	p.AddNode("z", "person")
+	p.AddNode("r", "Redmi 2A")
+	p.AddEdge("xo", "z", "follow", core.RatioPercent(core.LE, 70))
+	p.AddEdge("z", "r", "recom", core.Exists())
+	assertMatches(t, f.G, p, ids(f.X3))
+}
+
+func TestLEWithNegationMix(t *testing.T) {
+	// LE quantifier plus a negated branch evaluates through IncQMatch.
+	f := fixture.NewG1()
+	p := core.NewPattern()
+	p.AddNode("xo", "person")
+	p.AddNode("z", "person")
+	p.AddNode("r", "Redmi 2A")
+	p.AddNode("w", "person")
+	p.AddEdge("xo", "z", "follow", core.Count(core.LE, 2))
+	p.AddEdge("z", "r", "recom", core.Exists())
+	p.AddEdge("xo", "w", "follow", core.Negated())
+	p.AddEdge("w", "r", "bad_rating", core.Exists())
+	// x3 would pass the LE part (count 2) but follows v4 (bad rating).
+	assertMatches(t, f.G, p, ids(f.X1, f.X2))
+}
+
+func TestGlobalPruningRule(t *testing.T) {
+	// Lemma 12: with only one candidate for z but a ≥3 quantifier into it,
+	// QMatch must return empty without search work.
+	f := fixture.NewG1()
+	p := core.NewPattern()
+	p.AddNode("xo", "person")
+	p.AddNode("z", "Redmi 2A") // a single Redmi node exists
+	p.AddEdge("xo", "z", "recom", core.Count(core.GE, 3))
+	res, err := QMatch(f.G, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 {
+		t.Fatalf("matches = %v, want none", res.Matches)
+	}
+	if res.Metrics.Extensions != 0 {
+		t.Fatalf("global pruning did not fire: %d extensions", res.Metrics.Extensions)
+	}
+	// The answer agrees with the reference, of course.
+	ref, err := Reference(f.G, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != 0 {
+		t.Fatalf("reference disagrees: %v", ref)
+	}
+}
+
+func TestExtensionBudget(t *testing.T) {
+	f := fixture.NewG1()
+	q := fixture.Q2()
+	// An absurdly small budget must abort with ErrBudgetExceeded.
+	if _, err := QMatch(f.G, q, &Options{ExtensionBudget: 1}); err != ErrBudgetExceeded {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	// A generous budget changes nothing.
+	res, err := QMatch(f.G, q, &Options{ExtensionBudget: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 2 {
+		t.Fatalf("matches = %v", res.Matches)
+	}
+}

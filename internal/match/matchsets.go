@@ -1,0 +1,117 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// MatchSets computes Q(u, G) for every pattern node u of a positive QGP:
+// the set of graph nodes appearing as the image of u in some
+// quantifier-valid match (Table 1 of the paper). The result maps pattern
+// node names to sorted node lists; nodes of the pattern with no valid
+// match map to empty sets.
+//
+// Negative patterns are rejected: the paper defines answers of negative
+// QGPs only for the focus (via set difference), not per node.
+func MatchSets(g *graph.Graph, q *core.Pattern, opts *Options) (map[string][]graph.NodeID, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("match: %w", err)
+	}
+	if !q.IsPositive() {
+		return nil, fmt.Errorf("match: MatchSets requires a positive pattern")
+	}
+
+	out := make(map[string][]graph.NodeID, len(q.Nodes))
+	images := make([]map[graph.NodeID]struct{}, len(q.Nodes))
+	for i := range images {
+		images[i] = make(map[graph.NodeID]struct{})
+	}
+
+	pr, err := compile(g, q, true, true, nil)
+	if err == nil {
+		if opts != nil {
+			pr.budget = opts.ExtensionBudget
+		}
+		if err := collectMatchSets(pr, opts, images); err != nil {
+			return nil, err
+		}
+	}
+
+	for i, n := range q.Nodes {
+		vs := make([]graph.NodeID, 0, len(images[i]))
+		for v := range images[i] {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+		out[n.Name] = vs
+	}
+	return out, nil
+}
+
+// collectMatchSets enumerates, per focus candidate, the valid matches and
+// records every image. Validity needs exact counts, so early acceptance is
+// disabled and each accepted candidate re-enumerates over the count-valid
+// filter.
+func collectMatchSets(pr *program, opts *Options, images []map[graph.NodeID]struct{}) error {
+	quantOut := make([][]int, len(pr.p.Nodes))
+	for _, ei := range pr.quant {
+		e := pr.p.Edges[ei]
+		quantOut[e.From] = append(quantOut[e.From], ei)
+	}
+	restrict := combineRestrictions(pr.g.NumNodes(), opts, nil)
+
+	var m Metrics
+	for _, vx := range pr.focusCandidates() {
+		if restrict != nil && !restrict.Contains(int(vx)) {
+			continue
+		}
+		realized := make(map[realizedKey]map[graph.NodeID]struct{})
+		found := false
+		pr.run(vx, false, &m, func(assign []graph.NodeID) bool {
+			found = true
+			for _, ei := range pr.quant {
+				e := pr.p.Edges[ei]
+				k := realizedKey{ei, assign[e.From]}
+				s := realized[k]
+				if s == nil {
+					s = make(map[graph.NodeID]struct{})
+					realized[k] = s
+				}
+				s[assign[e.To]] = struct{}{}
+			}
+			return true
+		})
+		if pr.budgetExceeded {
+			return ErrBudgetExceeded
+		}
+		if !found {
+			continue
+		}
+		countOK := func(u int, w graph.NodeID) bool {
+			for _, ei := range quantOut[u] {
+				e := pr.p.Edges[ei]
+				total := pr.g.CountOut(w, pr.edgeLabel[ei])
+				if !e.Q.Satisfied(len(realized[realizedKey{ei, w}]), total) {
+					return false
+				}
+			}
+			return true
+		}
+		if !countOK(pr.p.Focus, vx) {
+			continue
+		}
+		pr.runFiltered(vx, &m, countOK, func(assign []graph.NodeID) bool {
+			for u, w := range assign {
+				images[u][w] = struct{}{}
+			}
+			return true
+		})
+		if pr.budgetExceeded {
+			return ErrBudgetExceeded
+		}
+	}
+	return nil
+}

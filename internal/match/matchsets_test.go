@@ -1,0 +1,91 @@
+package match
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/graph"
+)
+
+func TestMatchSetsQ2OnG1(t *testing.T) {
+	f := fixture.NewG1()
+	sets, err := MatchSets(f.G, fixture.Q2(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q2(xo, G1) = {x1, x2}; their followees v0, v1, v2 are the valid z
+	// images; Redmi 2A is the only product image.
+	if got := sets["xo"]; !reflect.DeepEqual(got, ids(f.X1, f.X2)) {
+		t.Errorf("xo images = %v", got)
+	}
+	if got := sets["z"]; !reflect.DeepEqual(got, ids(f.V0, f.V1, f.V2)) {
+		t.Errorf("z images = %v", got)
+	}
+	if got := sets["redmi"]; !reflect.DeepEqual(got, ids(f.Redmi)) {
+		t.Errorf("redmi images = %v", got)
+	}
+}
+
+func TestMatchSetsConsistentWithQMatch(t *testing.T) {
+	// The focus entry of MatchSets must equal QMatch's answer.
+	f := fixture.NewG2()
+	pi, _ := fixture.Q4(2).Pi()
+	sets, err := MatchSets(f.G, pi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := QMatch(f.G, pi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sets["xo"], res.Matches) {
+		t.Fatalf("MatchSets focus=%v QMatch=%v", sets["xo"], res.Matches)
+	}
+}
+
+func TestMatchSetsRejectsNegative(t *testing.T) {
+	f := fixture.NewG1()
+	if _, err := MatchSets(f.G, fixture.Q3(2), nil); err == nil {
+		t.Fatal("negative pattern accepted")
+	}
+}
+
+func TestMatchSetsEmptyForUnsatisfiable(t *testing.T) {
+	f := fixture.NewG1()
+	p := core.NewPattern()
+	p.AddNode("xo", "person")
+	p.AddNode("z", "person")
+	p.AddEdge("xo", "z", "follow", core.Count(core.GE, 10))
+	sets, err := MatchSets(f.G, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, vs := range sets {
+		if len(vs) != 0 {
+			t.Errorf("node %s has images %v for an unsatisfiable pattern", name, vs)
+		}
+	}
+}
+
+func TestMatchSetsBudget(t *testing.T) {
+	f := fixture.NewG1()
+	if _, err := MatchSets(f.G, fixture.Q2(), &Options{ExtensionBudget: 1}); err != ErrBudgetExceeded {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestMatchSetsRestrict(t *testing.T) {
+	f := fixture.NewG1()
+	sets, err := MatchSets(f.G, fixture.Q2(), &Options{FocusRestrict: []graph.NodeID{f.X2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sets["xo"]; !reflect.DeepEqual(got, ids(f.X2)) {
+		t.Errorf("restricted xo images = %v", got)
+	}
+	if got := sets["z"]; !reflect.DeepEqual(got, ids(f.V1, f.V2)) {
+		t.Errorf("restricted z images = %v", got)
+	}
+}

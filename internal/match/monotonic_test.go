@@ -1,0 +1,109 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Property: tightening a GE quantifier (raising p) never adds answers —
+// the answer-set counterpart of Lemma 10's support anti-monotonicity.
+func TestQuickAnswerAntiMonotone(t *testing.T) {
+	for seed := 5000; seed < 5120; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		g := randGraph(r, 30)
+
+		build := func(n int, ratioBP int) *core.Pattern {
+			p := core.NewPattern()
+			p.AddNode("xo", "a")
+			p.AddNode("z", "b")
+			p.AddNode("w", "c")
+			var q core.Quantifier
+			if ratioBP > 0 {
+				q = core.Ratio(core.GE, ratioBP)
+			} else {
+				q = core.Count(core.GE, n)
+			}
+			p.AddEdge("xo", "z", "R", q)
+			p.AddEdge("z", "w", "S", core.Exists())
+			return p
+		}
+
+		var prev map[graph.NodeID]bool
+		for _, n := range []int{1, 2, 3} {
+			res, err := QMatch(g, build(n, 0), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := toSet(res.Matches)
+			if prev != nil && !subset(cur, prev) {
+				t.Fatalf("seed %d: answers grew when raising numeric p to %d", seed, n)
+			}
+			prev = cur
+		}
+
+		prev = nil
+		for _, bp := range []int{2000, 5000, 9000} {
+			res, err := QMatch(g, build(0, bp), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := toSet(res.Matches)
+			if prev != nil && !subset(cur, prev) {
+				t.Fatalf("seed %d: answers grew when raising ratio to %d bp", seed, bp)
+			}
+			prev = cur
+		}
+	}
+}
+
+// Property: adding a negated edge never adds answers.
+func TestQuickNegationShrinks(t *testing.T) {
+	for seed := 6000; seed < 6100; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		g := randGraph(r, 30)
+
+		base := core.NewPattern()
+		base.AddNode("xo", "a")
+		base.AddNode("z", "b")
+		base.AddEdge("xo", "z", "R", core.Exists())
+
+		withNeg := core.NewPattern()
+		withNeg.AddNode("xo", "a")
+		withNeg.AddNode("z", "b")
+		withNeg.AddNode("n", "c")
+		withNeg.AddEdge("xo", "z", "R", core.Exists())
+		withNeg.AddEdge("xo", "n", "S", core.Negated())
+
+		rb, err := QMatch(g, base, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, err := QMatch(g, withNeg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !subset(toSet(rn.Matches), toSet(rb.Matches)) {
+			t.Fatalf("seed %d: negation added answers: %v vs %v", seed, rn.Matches, rb.Matches)
+		}
+	}
+}
+
+func toSet(vs []graph.NodeID) map[graph.NodeID]bool {
+	m := make(map[graph.NodeID]bool, len(vs))
+	for _, v := range vs {
+		m[v] = true
+	}
+	return m
+}
+
+func subset(a, b map[graph.NodeID]bool) bool {
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}

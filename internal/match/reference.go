@@ -1,0 +1,138 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Reference evaluates a QGP by direct appeal to the definitions of §2.2,
+// with no candidate filtering, search ordering, pruning or caching. It is
+// deliberately naive — exponential enumeration of all injective
+// label-preserving assignments — and exists as the executable
+// specification that QMatch, QMatchN and Enum are differentially tested
+// against on small instances. Do not use it on graphs beyond a few dozen
+// nodes.
+func Reference(g *graph.Graph, q *core.Pattern) ([]graph.NodeID, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("match: %w", err)
+	}
+	pi, _ := q.Pi()
+	if !pi.Connected() {
+		return nil, fmt.Errorf("match: Π(Q) is disconnected")
+	}
+	base := refPositive(g, pi)
+	excluded := make(map[graph.NodeID]bool)
+	for _, ei := range q.NegatedEdges() {
+		pp, _ := q.PiPlus(ei)
+		if !pp.Connected() {
+			return nil, fmt.Errorf("match: Π(Q+e) is disconnected for edge %d", ei)
+		}
+		for _, v := range refPositive(g, pp) {
+			excluded[v] = true
+		}
+	}
+	var out []graph.NodeID
+	for _, v := range base {
+		if !excluded[v] {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// refPositive returns the focus matches of a positive pattern, sorted.
+func refPositive(g *graph.Graph, p *core.Pattern) []graph.NodeID {
+	isos := allIsomorphisms(g, p)
+
+	// Group stratified isomorphisms by their focus image and collect the
+	// realized children Me(vx, v, Q) per (edge, v).
+	type group struct {
+		isos     [][]graph.NodeID
+		realized map[realizedKey]map[graph.NodeID]struct{}
+	}
+	groups := make(map[graph.NodeID]*group)
+	for _, h := range isos {
+		vx := h[p.Focus]
+		gr := groups[vx]
+		if gr == nil {
+			gr = &group{realized: make(map[realizedKey]map[graph.NodeID]struct{})}
+			groups[vx] = gr
+		}
+		gr.isos = append(gr.isos, h)
+		for ei, e := range p.Edges {
+			if e.Q.IsExistential() {
+				continue
+			}
+			k := realizedKey{ei, h[e.From]}
+			s := gr.realized[k]
+			if s == nil {
+				s = make(map[graph.NodeID]struct{})
+				gr.realized[k] = s
+			}
+			s[h[e.To]] = struct{}{}
+		}
+	}
+
+	var answers []graph.NodeID
+	for vx, gr := range groups {
+		for _, h := range gr.isos {
+			valid := true
+			for ei, e := range p.Edges {
+				if e.Q.IsExistential() {
+					continue
+				}
+				v := h[e.From]
+				total := g.CountOut(v, g.LookupLabel(e.Label))
+				if !e.Q.Satisfied(len(gr.realized[realizedKey{ei, v}]), total) {
+					valid = false
+					break
+				}
+			}
+			if valid {
+				answers = append(answers, vx)
+				break
+			}
+		}
+	}
+	sort.Slice(answers, func(i, j int) bool { return answers[i] < answers[j] })
+	return answers
+}
+
+// allIsomorphisms enumerates every injective assignment of pattern nodes
+// to graph nodes that preserves node labels and realizes every pattern
+// edge with its label. Each result slice is a fresh copy indexed by
+// pattern node.
+func allIsomorphisms(g *graph.Graph, p *core.Pattern) [][]graph.NodeID {
+	var out [][]graph.NodeID
+	assign := make([]graph.NodeID, len(p.Nodes))
+	used := make(map[graph.NodeID]bool)
+
+	var rec func(u int)
+	rec = func(u int) {
+		if u == len(p.Nodes) {
+			for _, e := range p.Edges {
+				l := g.LookupLabel(e.Label)
+				if l == graph.NoLabel || !g.HasEdge(assign[e.From], assign[e.To], l) {
+					return
+				}
+			}
+			out = append(out, append([]graph.NodeID(nil), assign...))
+			return
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			w := graph.NodeID(v)
+			if used[w] || g.NodeLabelName(w) != p.Nodes[u].Label {
+				continue
+			}
+			assign[u] = w
+			used[w] = true
+			rec(u + 1)
+			used[w] = false
+		}
+	}
+	rec(0)
+	return out
+}

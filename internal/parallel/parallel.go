@@ -1,0 +1,289 @@
+// Package parallel implements PQMatch (§5): quantified matching over a
+// d-hop preserving partition with inter-fragment parallelism (one worker
+// goroutine per fragment) and intra-fragment parallelism (mQMatch splits a
+// fragment's owned focus candidates across b threads).
+//
+// Because the session machine may have a single CPU, results carry both
+// wall-clock time and machine-independent work accounting: TotalWork is
+// the sequential cost and SimWork the idealized parallel cost (the maximum
+// work of any thread across workers). The paper's parallel-scalability
+// claim — T ≈ t/n + bookkeeping — is validated on SimWork.
+package parallel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/partition"
+)
+
+// Engine selects the per-fragment matching algorithm.
+type Engine int
+
+const (
+	// EngineQMatch is the optimized algorithm with IncQMatch (PQMatch).
+	EngineQMatch Engine = iota
+	// EngineQMatchN recomputes positified patterns from scratch (PQMatchn).
+	EngineQMatchN
+	// EngineEnum is parallel enumerate-then-verify (PEnum).
+	EngineEnum
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineQMatch:
+		return "PQMatch"
+	case EngineQMatchN:
+		return "PQMatchn"
+	default:
+		return "PEnum"
+	}
+}
+
+// Cluster is a partitioned graph with per-fragment subgraphs materialized,
+// ready to evaluate any pattern whose RequiredHops is within the
+// partition's d. Build it once with NewCluster; it is safe for concurrent
+// PQMatch runs.
+type Cluster struct {
+	Part  *partition.Partition
+	frags []*localFragment
+}
+
+type localFragment struct {
+	sub      *graph.Graph
+	toGlobal []graph.NodeID
+	owned    []graph.NodeID // local ids of owned nodes
+}
+
+// NewCluster materializes each fragment's induced subgraph.
+func NewCluster(p *partition.Partition) *Cluster {
+	c := &Cluster{Part: p, frags: make([]*localFragment, len(p.Fragments))}
+	for i, f := range p.Fragments {
+		sub, toGlobal := p.G.Induced(f.Nodes)
+		toLocal := make(map[graph.NodeID]graph.NodeID, len(toGlobal))
+		for local, global := range toGlobal {
+			toLocal[global] = graph.NodeID(local)
+		}
+		owned := make([]graph.NodeID, len(f.Owned))
+		for j, v := range f.Owned {
+			owned[j] = toLocal[v]
+		}
+		c.frags[i] = &localFragment{sub: sub, toGlobal: toGlobal, owned: owned}
+	}
+	return c
+}
+
+// RequiredHops returns the partition radius a pattern needs for
+// fragment-local evaluation to be exact: the largest radius over Π(Q) and
+// every Π(Q+e), where each sub-pattern needs its own radius, plus one
+// extra hop beyond any ratio-quantified edge's source (ratio denominators
+// |Me(v)| count all children of v in G, so those children must be
+// materialized even when they match nothing).
+func RequiredHops(q *core.Pattern) int {
+	need := 0
+	consider := func(p *core.Pattern) {
+		if r := patternHops(p); r > need {
+			need = r
+		}
+	}
+	pi, _ := q.Pi()
+	consider(pi)
+	for _, ei := range q.NegatedEdges() {
+		pp, _ := q.PiPlus(ei)
+		consider(pp)
+	}
+	return need
+}
+
+// patternHops computes max(radius, 1 + dist(source of each ratio edge)).
+func patternHops(p *core.Pattern) int {
+	adj := make([][]int, len(p.Nodes))
+	for _, e := range p.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	dist := make([]int, len(p.Nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[p.Focus] = 0
+	queue := []int{p.Focus}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	need := 0
+	for _, d := range dist {
+		if d > need {
+			need = d
+		}
+	}
+	for _, e := range p.Edges {
+		if e.Q.IsRatio() && dist[e.From] >= 0 && dist[e.From]+1 > need {
+			need = dist[e.From] + 1
+		}
+	}
+	return need
+}
+
+// Result is the outcome of a parallel run.
+type Result struct {
+	Matches []graph.NodeID
+	Metrics match.Metrics
+	Wall    time.Duration
+	// TotalWork is the summed work units (extension attempts +
+	// verifications) over all threads: the sequential cost.
+	TotalWork int64
+	// SimWork is the idealized parallel cost: the maximum work of any
+	// thread, with threads of one worker running concurrently and workers
+	// running concurrently.
+	SimWork int64
+}
+
+// Run evaluates a QGP over the cluster with the chosen engine and b
+// intra-fragment threads. It errors when the pattern needs more hops than
+// the partition preserves (matching would silently lose answers).
+func Run(c *Cluster, q *core.Pattern, engine Engine, threads int) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("parallel: %w", err)
+	}
+	if need := RequiredHops(q); need > c.Part.D {
+		return nil, fmt.Errorf("parallel: pattern needs %d-hop preservation but partition has d=%d", need, c.Part.D)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+
+	algo := match.QMatch
+	switch engine {
+	case EngineQMatchN:
+		algo = match.QMatchN
+	case EngineEnum:
+		algo = match.Enum
+	}
+
+	start := time.Now()
+	type taskResult struct {
+		matches []graph.NodeID
+		metrics match.Metrics
+		work    int64
+		err     error
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results []taskResult
+		simWork int64
+	)
+	for wi := range c.frags {
+		f := c.frags[wi]
+		// mQMatch: split the owned focus candidates across b threads.
+		chunks := splitChunks(f.owned, threads)
+		workerMax := make([]int64, len(chunks))
+		workerResults := make([]taskResult, len(chunks))
+		var wwg sync.WaitGroup
+		for ti, chunk := range chunks {
+			wwg.Add(1)
+			go func(ti int, chunk []graph.NodeID) {
+				defer wwg.Done()
+				res, err := algo(f.sub, q, &match.Options{FocusRestrict: chunk})
+				if err != nil {
+					workerResults[ti] = taskResult{err: err}
+					return
+				}
+				global := make([]graph.NodeID, len(res.Matches))
+				for i, v := range res.Matches {
+					global[i] = f.toGlobal[v]
+				}
+				w := res.Metrics.Extensions + int64(res.Metrics.Verifications)
+				workerMax[ti] = w
+				workerResults[ti] = taskResult{matches: global, metrics: res.Metrics, work: w}
+			}(ti, chunk)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wwg.Wait()
+			mu.Lock()
+			defer mu.Unlock()
+			for ti := range workerResults {
+				results = append(results, workerResults[ti])
+				if workerMax[ti] > simWork {
+					simWork = workerMax[ti]
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := &Result{Wall: time.Since(start), SimWork: simWork}
+	seen := make(map[graph.NodeID]bool)
+	for _, tr := range results {
+		if tr.err != nil {
+			return nil, tr.err
+		}
+		out.Metrics.Add(tr.metrics)
+		out.TotalWork += tr.work
+		for _, v := range tr.matches {
+			if !seen[v] {
+				seen[v] = true
+				out.Matches = append(out.Matches, v)
+			}
+		}
+	}
+	sort.Slice(out.Matches, func(i, j int) bool { return out.Matches[i] < out.Matches[j] })
+	return out, nil
+}
+
+// PQMatch runs the optimized engine with b threads per worker.
+func PQMatch(c *Cluster, q *core.Pattern, threads int) (*Result, error) {
+	return Run(c, q, EngineQMatch, threads)
+}
+
+// PQMatchS is PQMatch without intra-fragment parallelism.
+func PQMatchS(c *Cluster, q *core.Pattern) (*Result, error) {
+	return Run(c, q, EngineQMatch, 1)
+}
+
+// PQMatchN is the parallel version of QMatchN (no incremental evaluation).
+func PQMatchN(c *Cluster, q *core.Pattern, threads int) (*Result, error) {
+	return Run(c, q, EngineQMatchN, threads)
+}
+
+// PEnum is the parallel enumerate-then-verify baseline.
+func PEnum(c *Cluster, q *core.Pattern) (*Result, error) {
+	return Run(c, q, EngineEnum, 1)
+}
+
+// splitChunks partitions vs into at most n non-empty chunks of near-equal
+// size; it returns at least one (possibly empty) chunk so every worker
+// reports metrics.
+func splitChunks(vs []graph.NodeID, n int) [][]graph.NodeID {
+	if n > len(vs) && len(vs) > 0 {
+		n = len(vs)
+	}
+	if len(vs) == 0 || n <= 1 {
+		return [][]graph.NodeID{vs}
+	}
+	out := make([][]graph.NodeID, 0, n)
+	size := (len(vs) + n - 1) / n
+	for i := 0; i < len(vs); i += size {
+		end := i + size
+		if end > len(vs) {
+			end = len(vs)
+		}
+		out = append(out, vs[i:end])
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package parallel_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+)
+
+func cluster(t *testing.T, g *graph.Graph, workers, d int) *parallel.Cluster {
+	t.Helper()
+	p, err := partition.DPar(g, partition.Config{Workers: workers, D: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return parallel.NewCluster(p)
+}
+
+func TestRequiredHops(t *testing.T) {
+	if got := parallel.RequiredHops(fixture.Q2()); got != 2 {
+		// Q2: radius 2; the ratio edge (=100%) leaves the focus, 0+1=1 < 2.
+		t.Errorf("RequiredHops(Q2) = %d, want 2", got)
+	}
+	if got := parallel.RequiredHops(fixture.Q3(2)); got != 2 {
+		t.Errorf("RequiredHops(Q3) = %d, want 2", got)
+	}
+	// A ratio edge two hops out forces an extra hop.
+	p := core.NewPattern()
+	p.AddNode("xo", "a")
+	p.AddNode("b", "b")
+	p.AddNode("c", "c")
+	p.AddEdge("xo", "b", "r", core.Exists())
+	p.AddEdge("b", "c", "s", core.RatioPercent(core.GE, 50))
+	if got := parallel.RequiredHops(p); got != 2 {
+		t.Errorf("RequiredHops = %d, want 2 (dist(b)+1)", got)
+	}
+}
+
+func TestPQMatchEqualsSequentialPaperExamples(t *testing.T) {
+	f1 := fixture.NewG1()
+	f2 := fixture.NewG2()
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		q    *core.Pattern
+	}{
+		{"Q2/G1", f1.G, fixture.Q2()},
+		{"Q3/G1", f1.G, fixture.Q3(2)},
+		{"Q4/G2", f2.G, fixture.Q4(2)},
+		{"Q5/G2", f2.G, fixture.Q5()},
+	}
+	for _, c := range cases {
+		seq, err := match.QMatch(c.g, c.q, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, workers := range []int{1, 2, 3} {
+			cl := cluster(t, c.g, workers, parallel.RequiredHops(c.q))
+			for _, threads := range []int{1, 2} {
+				res, err := parallel.PQMatch(cl, c.q, threads)
+				if err != nil {
+					t.Fatalf("%s n=%d b=%d: %v", c.name, workers, threads, err)
+				}
+				if !sameIDs(res.Matches, seq.Matches) {
+					t.Errorf("%s n=%d b=%d: parallel=%v sequential=%v",
+						c.name, workers, threads, res.Matches, seq.Matches)
+				}
+			}
+		}
+	}
+}
+
+func sameIDs(a, b []graph.NodeID) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func TestPQMatchEqualsSequentialGenerated(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(600, 17))
+	patterns := gen.Patterns(g, gen.PatternConfig{Nodes: 4, Edges: 4, RatioBP: 3000, NegEdges: 1, Seed: 23}, 4)
+	for pi, q := range patterns {
+		need := parallel.RequiredHops(q)
+		seq, err := match.QMatch(g, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := cluster(t, g, 4, need)
+		for _, engine := range []parallel.Engine{parallel.EngineQMatch, parallel.EngineQMatchN, parallel.EngineEnum} {
+			res, err := parallel.Run(cl, q, engine, 2)
+			if err != nil {
+				t.Fatalf("pattern %d engine %v: %v", pi, engine, err)
+			}
+			if !sameIDs(res.Matches, seq.Matches) {
+				t.Errorf("pattern %d engine %v: parallel=%d matches, sequential=%d\n%s",
+					pi, engine, len(res.Matches), len(seq.Matches), q)
+			}
+		}
+	}
+}
+
+func TestInsufficientHopsRejected(t *testing.T) {
+	f := fixture.NewG1()
+	cl := cluster(t, f.G, 2, 1) // Q2 needs d=2
+	if _, err := parallel.PQMatch(cl, fixture.Q2(), 1); err == nil {
+		t.Fatal("pattern beyond partition radius accepted")
+	}
+}
+
+func TestWorkAccounting(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(800, 5))
+	q := gen.Pattern(g, gen.PatternConfig{Nodes: 4, Edges: 4, RatioBP: 3000, NegEdges: 0, Seed: 2})
+	cl1 := cluster(t, g, 1, parallel.RequiredHops(q))
+	cl4 := cluster(t, g, 4, parallel.RequiredHops(q))
+
+	r1, err := parallel.PQMatchS(cl1, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := parallel.PQMatchS(cl4, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalWork <= 0 || r1.SimWork <= 0 {
+		t.Fatalf("work accounting empty: %+v", r1)
+	}
+	if r1.SimWork != r1.TotalWork {
+		t.Errorf("single worker: SimWork %d != TotalWork %d", r1.SimWork, r1.TotalWork)
+	}
+	// Parallel scalability: with 4 workers the critical path must shrink.
+	if r4.SimWork >= r1.SimWork {
+		t.Errorf("SimWork did not shrink: n=1 %d, n=4 %d", r1.SimWork, r4.SimWork)
+	}
+	if !sameIDs(r1.Matches, r4.Matches) {
+		t.Error("worker count changed the answer")
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if parallel.EngineQMatch.String() != "PQMatch" ||
+		parallel.EngineQMatchN.String() != "PQMatchn" ||
+		parallel.EngineEnum.String() != "PEnum" {
+		t.Error("Engine.String broken")
+	}
+}

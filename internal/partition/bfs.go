@@ -1,0 +1,105 @@
+package partition
+
+import "repro/internal/graph"
+
+// bfsScratch runs repeated bounded BFS traversals without per-call
+// allocation, using version stamps for the visited set. DPar visits every
+// node's d-hop neighborhood, so this is the partitioner's hot path.
+type bfsScratch struct {
+	stamp   []uint32
+	version uint32
+	buf     []graph.NodeID
+}
+
+func newBFS(n int) *bfsScratch {
+	return &bfsScratch{stamp: make([]uint32, n)}
+}
+
+func (b *bfsScratch) reset() {
+	b.version++
+	if b.version == 0 {
+		for i := range b.stamp {
+			b.stamp[i] = 0
+		}
+		b.version = 1
+	}
+	b.buf = b.buf[:0]
+}
+
+// neighborhood returns the nodes within d undirected hops of v. The
+// returned slice aliases the scratch buffer and is valid until the next
+// call.
+func (b *bfsScratch) neighborhood(g *graph.Graph, v graph.NodeID, d int) []graph.NodeID {
+	b.reset()
+	b.stamp[v] = b.version
+	b.buf = append(b.buf, v)
+	frontier := 0
+	for hop := 0; hop < d; hop++ {
+		end := len(b.buf)
+		for ; frontier < end; frontier++ {
+			u := b.buf[frontier]
+			for _, e := range g.Out(u) {
+				if b.stamp[e.To] != b.version {
+					b.stamp[e.To] = b.version
+					b.buf = append(b.buf, e.To)
+				}
+			}
+			for _, e := range g.In(u) {
+				if b.stamp[e.To] != b.version {
+					b.stamp[e.To] = b.version
+					b.buf = append(b.buf, e.To)
+				}
+			}
+		}
+	}
+	return b.buf
+}
+
+// insideFragment reports whether Nd(v) stays within the fragment h of the
+// home assignment, stopping at the first foreign node. It also returns the
+// number of nodes visited (work accounting).
+func (b *bfsScratch) insideFragment(g *graph.Graph, v graph.NodeID, d int, home []int, h int) (bool, int) {
+	b.reset()
+	b.stamp[v] = b.version
+	b.buf = append(b.buf, v)
+	frontier := 0
+	for hop := 0; hop < d; hop++ {
+		end := len(b.buf)
+		for ; frontier < end; frontier++ {
+			u := b.buf[frontier]
+			for _, e := range g.Out(u) {
+				if b.stamp[e.To] != b.version {
+					if home[e.To] != h {
+						return false, len(b.buf)
+					}
+					b.stamp[e.To] = b.version
+					b.buf = append(b.buf, e.To)
+				}
+			}
+			for _, e := range g.In(u) {
+				if b.stamp[e.To] != b.version {
+					if home[e.To] != h {
+						return false, len(b.buf)
+					}
+					b.stamp[e.To] = b.version
+					b.buf = append(b.buf, e.To)
+				}
+			}
+		}
+	}
+	return true, len(b.buf)
+}
+
+// size returns |nodes| + |induced edges| for a neighborhood whose stamps
+// are still current (call immediately after neighborhood).
+func (b *bfsScratch) size(g *graph.Graph, nodes []graph.NodeID) int {
+	edges := 0
+	for _, u := range nodes {
+		for _, e := range g.Out(u) {
+			if b.stamp[e.To] == b.version {
+				edges++
+			}
+		}
+	}
+	return len(nodes) + edges
+}

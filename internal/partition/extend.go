@@ -1,0 +1,57 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Extend incrementally adapts a d-hop preserving partition to a larger
+// radius d′ (the Remark of §5.2: for a query with radius d′ > d, each
+// worker incrementally loads the missing Nd′−d rings of its border nodes
+// instead of repartitioning). Ownership is unchanged; each fragment loads
+// exactly the nodes its owned neighborhoods now additionally need. The
+// receiver is not modified.
+func (p *Partition) Extend(dNew int) (*Partition, error) {
+	if dNew < p.D {
+		return nil, fmt.Errorf("partition: cannot shrink from d=%d to d=%d", p.D, dNew)
+	}
+	out := &Partition{G: p.G, D: dNew, Fragments: make([]*Fragment, len(p.Fragments))}
+	if dNew == p.D {
+		for i, f := range p.Fragments {
+			c := *f
+			out.Fragments[i] = &c
+		}
+		return out, nil
+	}
+
+	bfs := newBFS(p.G.NumNodes())
+	for i, f := range p.Fragments {
+		present := make(map[graph.NodeID]bool, len(f.Nodes))
+		for _, v := range f.Nodes {
+			present[v] = true
+		}
+		work := f.Work
+		for _, v := range f.Owned {
+			nd := bfs.neighborhood(p.G, v, dNew)
+			loaded := 0
+			for _, u := range nd {
+				if !present[u] {
+					present[u] = true
+					loaded++
+				}
+			}
+			// Incremental cost: only newly loaded data plus the ring scan.
+			work += loaded + 1
+		}
+		nf := &Fragment{
+			Worker: f.Worker,
+			Owned:  append([]graph.NodeID(nil), f.Owned...),
+			Work:   work,
+		}
+		nf.Nodes = sortedKeys(present)
+		nf.Size = fragmentSize(p.G, present)
+		out.Fragments[i] = nf
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestExtendPreservesInvariants(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(600, 9))
+	p, err := DPar(g, Config{Workers: 3, D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := p.Extend(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.D != 2 {
+		t.Fatalf("extended D = %d", p2.D)
+	}
+	if err := p2.Validate(); err != nil {
+		t.Fatalf("extended partition invalid: %v", err)
+	}
+	// Ownership is unchanged.
+	for i := range p.Fragments {
+		if !reflect.DeepEqual(p.Fragments[i].Owned, p2.Fragments[i].Owned) {
+			t.Fatalf("fragment %d ownership changed", i)
+		}
+	}
+	// The original is untouched.
+	if p.D != 1 {
+		t.Fatal("Extend mutated the receiver")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("original partition broken after Extend: %v", err)
+	}
+}
+
+func TestExtendSameD(t *testing.T) {
+	g := gen.Knowledge(gen.DefaultKnowledge(300, 2))
+	p, err := DPar(g, Config{Workers: 2, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := p.Extend(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Fragments {
+		if p.Fragments[i].Size != p2.Fragments[i].Size {
+			t.Fatal("same-d Extend changed fragment sizes")
+		}
+	}
+}
+
+func TestExtendRejectsShrink(t *testing.T) {
+	g := gen.Knowledge(gen.DefaultKnowledge(200, 2))
+	p, err := DPar(g, Config{Workers: 2, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Extend(1); err == nil {
+		t.Fatal("shrinking Extend accepted")
+	}
+}
+
+func TestExtendMatchesFreshPartitionCoverage(t *testing.T) {
+	// Extended fragments must cover at least what a fresh d=2 partition
+	// covers for the same owned nodes (the covering property is what
+	// parallel matching relies on; sizes may differ).
+	g := gen.SmallWorld(gen.SmallWorldConfig{Nodes: 400, Edges: 900, Seed: 4})
+	p1, err := DPar(g, Config{Workers: 3, D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := p1.Extend(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

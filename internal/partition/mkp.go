@@ -1,0 +1,57 @@
+package partition
+
+import "sort"
+
+// Item is a multiple-knapsack item: DPar uses one item per border node,
+// with weight |Nd(v)| and unit value.
+type Item struct {
+	ID     int
+	Weight int
+	// Prefer, when ≥ 0, is the bin that already holds most of the item
+	// (the border node's base fragment); the greedy assigner tries it
+	// first to minimize data movement.
+	Prefer int
+}
+
+// AssignMKP assigns items to bins with the given remaining capacities,
+// maximizing covered items while keeping loads balanced. It stands in for
+// the Chekuri–Khanna PTAS the paper invokes (see DESIGN.md §3): heaviest
+// items first (LPT), each placed into its preferred bin when feasible and
+// otherwise into the feasible bin with the largest remaining capacity.
+// The result maps each item index to a bin index, or -1 when no bin fits.
+func AssignMKP(items []Item, capacities []int) []int {
+	remaining := append([]int(nil), capacities...)
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		if ia.Weight != ib.Weight {
+			return ia.Weight > ib.Weight
+		}
+		return ia.ID < ib.ID
+	})
+
+	out := make([]int, len(items))
+	for _, idx := range order {
+		it := items[idx]
+		bin := -1
+		if it.Prefer >= 0 && it.Prefer < len(remaining) && remaining[it.Prefer] >= it.Weight {
+			bin = it.Prefer
+		} else {
+			best := -1
+			for b, cap := range remaining {
+				if cap >= it.Weight && (best < 0 || cap > remaining[best]) {
+					best = b
+				}
+			}
+			bin = best
+		}
+		out[idx] = bin
+		if bin >= 0 {
+			remaining[bin] -= it.Weight
+		}
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+// Package partition implements the d-hop preserving graph partition of §5:
+// a balanced base partition, border-node discovery, neighborhood loading
+// balanced by a multiple-knapsack assignment, and a completion phase, so
+// that every node's d-hop neighborhood is fully contained in the fragment
+// that owns the node. Quantified patterns of radius ≤ d then evaluate on
+// each fragment independently, with no inter-fragment communication
+// (Lemma 9(1)).
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Config controls DPar.
+type Config struct {
+	Workers int
+	D       int // hop radius to preserve (the paper's d; queries need radius ≤ d)
+	// BalanceC is the fragment capacity multiplier c: each fragment's
+	// size (nodes + edges, counting loaded neighborhoods) is capped at
+	// c·|G|/n during the knapsack phase. Default 2.5.
+	BalanceC float64
+}
+
+// Fragment is the data one worker manages: the nodes materialized at the
+// worker (base chunk plus loaded neighborhoods) and the nodes it owns —
+// the focus candidates it is responsible for answering, each with its full
+// d-hop neighborhood present locally.
+type Fragment struct {
+	Worker int
+	Nodes  []graph.NodeID // materialized nodes, ascending
+	Owned  []graph.NodeID // owned (covered) nodes, ascending
+	Size   int            // |nodes| + |edges| of the induced subgraph
+	Work   int            // bookkeeping cost incurred building this fragment
+}
+
+// Partition is a d-hop preserving partition of a graph.
+type Partition struct {
+	G         *graph.Graph
+	D         int
+	Fragments []*Fragment
+}
+
+// DPar computes a d-hop preserving partition (§5.2):
+//
+//  1. base partition: a BFS-ordered chunking into Workers balanced pieces
+//     (BFS order keeps neighborhoods contiguous, shrinking borders);
+//  2. border discovery: nodes whose d-hop neighborhood leaves their chunk;
+//  3. balanced loading: each border node's Nd(v) is assigned to a fragment
+//     by the multiple-knapsack heuristic, subject to the c·|G|/n cap;
+//  4. completion: still-uncovered nodes go to the currently smallest
+//     fragment, so the partition is complete.
+func DPar(g *graph.Graph, cfg Config) (*Partition, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("partition: need at least 1 worker, got %d", cfg.Workers)
+	}
+	if cfg.D < 0 {
+		return nil, fmt.Errorf("partition: negative hop radius %d", cfg.D)
+	}
+	if cfg.BalanceC == 0 {
+		cfg.BalanceC = 2.5
+	}
+	n := cfg.Workers
+	p := &Partition{G: g, D: cfg.D, Fragments: make([]*Fragment, n)}
+	for i := range p.Fragments {
+		p.Fragments[i] = &Fragment{Worker: i}
+	}
+	if g.NumNodes() == 0 {
+		return p, nil
+	}
+
+	// (1) Base partition: BFS order over the whole graph, cut into n
+	// equal-count chunks.
+	order := bfsOrder(g)
+	home := make([]int, g.NumNodes())
+	chunk := (len(order) + n - 1) / n
+	for i, v := range order {
+		home[v] = i / chunk
+	}
+
+	// (2) Border discovery with early exit: the BFS from v stops at the
+	// first foreign node. Full neighborhoods are collected only for border
+	// nodes. Work accounting: each worker scans its chunk.
+	type borderNode struct {
+		v     graph.NodeID
+		nodes []graph.NodeID // Nd(v)
+		size  int
+	}
+	var borders []borderNode
+	fragNodes := make([]map[graph.NodeID]bool, n)
+	for i := range fragNodes {
+		fragNodes[i] = make(map[graph.NodeID]bool)
+	}
+	for _, v := range order {
+		fragNodes[home[v]][v] = true
+	}
+	bfs := newBFS(g.NumNodes())
+	for _, v := range order {
+		h := home[v]
+		inside, visited := bfs.insideFragment(g, v, cfg.D, home, h)
+		p.Fragments[h].Work += visited
+		if inside {
+			p.Fragments[h].Owned = append(p.Fragments[h].Owned, v)
+			continue
+		}
+		nd := bfs.neighborhood(g, v, cfg.D)
+		p.Fragments[h].Work += len(nd)
+		borders = append(borders, borderNode{
+			v:     v,
+			nodes: append([]graph.NodeID(nil), nd...),
+			size:  bfs.size(g, nd),
+		})
+	}
+
+	// (3) Balanced neighborhood loading via MKP.
+	capTotal := int(cfg.BalanceC * float64(g.Size()) / float64(n))
+	caps := make([]int, n)
+	baseSizes := baseFragmentSizes(g, fragNodes)
+	for i := range caps {
+		caps[i] = capTotal - baseSizes[i]
+		if caps[i] < 0 {
+			caps[i] = 0
+		}
+	}
+	items := make([]Item, len(borders))
+	for i, b := range borders {
+		items[i] = Item{ID: i, Weight: b.size, Prefer: home[b.v]}
+	}
+	assignment := AssignMKP(items, caps)
+	loads := append([]int(nil), baseSizes...)
+	for i, bin := range assignment {
+		b := borders[i]
+		if bin < 0 {
+			continue
+		}
+		loadNeighborhood(p.Fragments[bin], fragNodes[bin], b.nodes)
+		p.Fragments[bin].Owned = append(p.Fragments[bin].Owned, b.v)
+		p.Fragments[bin].Work += b.size
+		loads[bin] += b.size
+	}
+
+	// (4) Completion: place leftovers on the smallest fragment.
+	for i, bin := range assignment {
+		if bin >= 0 {
+			continue
+		}
+		b := borders[i]
+		smallest := 0
+		for j := 1; j < n; j++ {
+			if loads[j] < loads[smallest] {
+				smallest = j
+			}
+		}
+		loadNeighborhood(p.Fragments[smallest], fragNodes[smallest], b.nodes)
+		p.Fragments[smallest].Owned = append(p.Fragments[smallest].Owned, b.v)
+		p.Fragments[smallest].Work += b.size
+		loads[smallest] += b.size
+	}
+
+	// Materialize fragment node lists and sizes.
+	for i, f := range p.Fragments {
+		f.Nodes = sortedKeys(fragNodes[i])
+		f.Owned = sortNodes(f.Owned)
+		f.Size = fragmentSize(g, fragNodes[i])
+	}
+	return p, nil
+}
+
+// Skew returns min fragment size / max fragment size in (0, 1]; the paper
+// reports ≥ 0.8 at n = 8. Empty fragments yield 0.
+func (p *Partition) Skew() float64 {
+	if len(p.Fragments) == 0 {
+		return 0
+	}
+	min, max := -1, 0
+	for _, f := range p.Fragments {
+		if f.Size > max {
+			max = f.Size
+		}
+		if min < 0 || f.Size < min {
+			min = f.Size
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(min) / float64(max)
+}
+
+// MaxWork returns the maximum per-worker bookkeeping work — the simulated
+// parallel cost of building the partition.
+func (p *Partition) MaxWork() int {
+	max := 0
+	for _, f := range p.Fragments {
+		if f.Work > max {
+			max = f.Work
+		}
+	}
+	return max
+}
+
+// TotalWork returns the summed bookkeeping work across workers — the
+// sequential cost of building the partition.
+func (p *Partition) TotalWork() int {
+	total := 0
+	for _, f := range p.Fragments {
+		total += f.Work
+	}
+	return total
+}
+
+// Validate checks the partition invariants: every graph node owned exactly
+// once, and every owned node's d-hop neighborhood materialized in its
+// fragment (the covering property).
+func (p *Partition) Validate() error {
+	ownedBy := make([]int, p.G.NumNodes())
+	for i := range ownedBy {
+		ownedBy[i] = -1
+	}
+	for _, f := range p.Fragments {
+		present := make(map[graph.NodeID]bool, len(f.Nodes))
+		for _, v := range f.Nodes {
+			present[v] = true
+		}
+		for _, v := range f.Owned {
+			if ownedBy[v] >= 0 {
+				return fmt.Errorf("partition: node %d owned by workers %d and %d", v, ownedBy[v], f.Worker)
+			}
+			ownedBy[v] = f.Worker
+			for _, u := range p.G.Neighborhood(v, p.D) {
+				if !present[u] {
+					return fmt.Errorf("partition: worker %d owns %d but misses neighbor %d", f.Worker, v, u)
+				}
+			}
+		}
+	}
+	for v, w := range ownedBy {
+		if w < 0 {
+			return fmt.Errorf("partition: node %d is not owned by any worker", v)
+		}
+	}
+	return nil
+}
+
+func bfsOrder(g *graph.Graph) []graph.NodeID {
+	seen := make([]bool, g.NumNodes())
+	order := make([]graph.NodeID, 0, g.NumNodes())
+	for start := 0; start < g.NumNodes(); start++ {
+		if seen[start] {
+			continue
+		}
+		queue := []graph.NodeID{graph.NodeID(start)}
+		seen[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, e := range g.Out(v) {
+				if !seen[e.To] {
+					seen[e.To] = true
+					queue = append(queue, e.To)
+				}
+			}
+			for _, e := range g.In(v) {
+				if !seen[e.To] {
+					seen[e.To] = true
+					queue = append(queue, e.To)
+				}
+			}
+		}
+	}
+	return order
+}
+
+func loadNeighborhood(f *Fragment, present map[graph.NodeID]bool, nodes []graph.NodeID) {
+	for _, u := range nodes {
+		present[u] = true
+	}
+}
+
+func baseFragmentSizes(g *graph.Graph, fragNodes []map[graph.NodeID]bool) []int {
+	sizes := make([]int, len(fragNodes))
+	for i, m := range fragNodes {
+		sizes[i] = fragmentSize(g, m)
+	}
+	return sizes
+}
+
+func fragmentSize(g *graph.Graph, present map[graph.NodeID]bool) int {
+	edges := 0
+	for v := range present {
+		for _, e := range g.Out(v) {
+			if present[e.To] {
+				edges++
+			}
+		}
+	}
+	return len(present) + edges
+}
+
+func sortedKeys(m map[graph.NodeID]bool) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	return sortNodes(out)
+}
+
+func sortNodes(vs []graph.NodeID) []graph.NodeID {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}

@@ -1,0 +1,177 @@
+package rpq
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Reach returns the sorted set of nodes reachable from src by a directed
+// walk of at most maxLen edges whose label word belongs to the
+// expression's language. Walks may revisit nodes (regular path queries
+// are walk-based); termination is guaranteed by the length bound and the
+// finite product space: BFS explores (node, NFA-state) pairs level by
+// level, revisiting a pair only if it reappears at a shorter level —
+// which cannot happen in BFS — so each level touches each pair at most
+// once.
+func Reach(g *graph.Graph, src graph.NodeID, e *Expr, maxLen int) []graph.NodeID {
+	if maxLen < 0 {
+		return nil
+	}
+	m := compile(e)
+
+	type pair struct {
+		v graph.NodeID
+		s int
+	}
+	cur := make(map[pair]bool)
+	seen := make(map[pair]bool) // pairs ever enqueued: shorter walks dominate
+	result := make(map[graph.NodeID]bool)
+
+	startStates := map[int]bool{m.start: true}
+	m.closure(startStates)
+	for s := range startStates {
+		p := pair{src, s}
+		cur[p] = true
+		seen[p] = true
+		if s == m.accept {
+			result[src] = true
+		}
+	}
+
+	for depth := 0; depth < maxLen && len(cur) > 0; depth++ {
+		next := make(map[pair]bool)
+		for p := range cur {
+			for _, ge := range g.Out(p.v) {
+				label := g.LabelName(ge.Label)
+				targets := m.trans[p.s][label]
+				if len(targets) == 0 {
+					continue
+				}
+				states := make(map[int]bool, len(targets))
+				for _, t := range targets {
+					states[t] = true
+				}
+				m.closure(states)
+				for s := range states {
+					np := pair{ge.To, s}
+					if seen[np] {
+						continue
+					}
+					seen[np] = true
+					next[np] = true
+					if s == m.accept {
+						result[ge.To] = true
+					}
+				}
+			}
+		}
+		cur = next
+	}
+
+	out := make([]graph.NodeID, 0, len(result))
+	for v := range result {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReachAny returns the sorted set of nodes reachable from src by any
+// directed walk of at most maxLen edges — the denominator of ratio
+// quantifiers over path constraints, generalizing |Me(v)| (the 1-hop
+// out-neighborhood) to bounded walks.
+func ReachAny(g *graph.Graph, src graph.NodeID, maxLen int) []graph.NodeID {
+	seen := map[graph.NodeID]bool{src: true}
+	frontier := []graph.NodeID{src}
+	for depth := 0; depth < maxLen && len(frontier) > 0; depth++ {
+		var next []graph.NodeID
+		for _, v := range frontier {
+			for _, e := range g.Out(v) {
+				if !seen[e.To] {
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	delete(seen, src)
+	out := make([]graph.NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Constraint is a quantified path predicate: the number of distinct nodes
+// reachable from a candidate via Expr-walks of length ≤ MaxLen must
+// satisfy Q. For ratio quantifiers the denominator is |ReachAny| — the
+// count of nodes reachable by any walk of the same bound — so "≥ 80%"
+// reads "at least 80% of everything within MaxLen hops is reachable
+// through Expr-paths", the walk-based generalization of the paper's
+// per-edge ratio semantics.
+type Constraint struct {
+	Expr   *Expr
+	MaxLen int
+	Q      core.Quantifier
+}
+
+// ParseConstraint parses "expr within N quant", e.g.
+// "follow.follow within 2 >=5" or "like|recom within 3 >=80%".
+func ParseConstraint(src string) (Constraint, error) {
+	var c Constraint
+	var exprPart, lenPart, qPart string
+	if _, err := fmt.Sscanf(src, "%s within %s %s", &exprPart, &lenPart, &qPart); err != nil {
+		return c, fmt.Errorf("rpq: constraint %q: want \"expr within N quantifier\"", src)
+	}
+	e, err := Parse(exprPart)
+	if err != nil {
+		return c, err
+	}
+	var maxLen int
+	if _, err := fmt.Sscanf(lenPart, "%d", &maxLen); err != nil || maxLen < 0 {
+		return c, fmt.Errorf("rpq: bad length bound %q", lenPart)
+	}
+	q, err := core.ParseQuantifier(qPart)
+	if err != nil {
+		return c, err
+	}
+	c.Expr, c.MaxLen, c.Q = e, maxLen, q
+	return c, nil
+}
+
+// Holds reports whether the constraint is satisfied at node v. The source
+// itself is not counted as reachable (a walk of length 0 satisfies only
+// the empty word, and counting v among its own "children" would skew
+// ratios), matching the paper's child-set semantics.
+func Holds(g *graph.Graph, v graph.NodeID, c Constraint) bool {
+	reach := Reach(g, v, c.Expr, c.MaxLen)
+	count := 0
+	for _, u := range reach {
+		if u != v {
+			count++
+		}
+	}
+	total := count
+	if c.Q.IsRatio() {
+		total = len(ReachAny(g, v, c.MaxLen))
+	}
+	return c.Q.Satisfied(count, total)
+}
+
+// Filter returns the candidates satisfying the constraint — the
+// composition point with quantified matching: apply a QGP first, then
+// restrict its focus answers by path constraints.
+func Filter(g *graph.Graph, candidates []graph.NodeID, c Constraint) []graph.NodeID {
+	var out []graph.NodeID
+	for _, v := range candidates {
+		if Holds(g, v, c) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package rpq
+
+// Thompson construction: each AST node compiles to an NFA fragment with
+// one entry and one exit state; fragments are glued with ε-transitions.
+
+// nfa is a compiled path expression.
+type nfa struct {
+	// eps[s] lists the ε-successors of state s.
+	eps [][]int
+	// trans[s] maps an edge label to label-successors of state s.
+	trans  []map[string][]int
+	start  int
+	accept int
+}
+
+func (m *nfa) newState() int {
+	m.eps = append(m.eps, nil)
+	m.trans = append(m.trans, nil)
+	return len(m.eps) - 1
+}
+
+func (m *nfa) addEps(from, to int) { m.eps[from] = append(m.eps[from], to) }
+
+func (m *nfa) addTrans(from int, label string, to int) {
+	if m.trans[from] == nil {
+		m.trans[from] = make(map[string][]int)
+	}
+	m.trans[from][label] = append(m.trans[from][label], to)
+}
+
+// compile builds the NFA for an expression.
+func compile(e *Expr) *nfa {
+	m := &nfa{}
+	start, accept := m.build(e.root)
+	m.start, m.accept = start, accept
+	return m
+}
+
+// build returns the (entry, exit) states of the fragment for n.
+func (m *nfa) build(n node) (int, int) {
+	switch n := n.(type) {
+	case labelNode:
+		s, t := m.newState(), m.newState()
+		m.addTrans(s, n.label, t)
+		return s, t
+	case concatNode:
+		s, t := m.build(n.parts[0])
+		for _, part := range n.parts[1:] {
+			ps, pt := m.build(part)
+			m.addEps(t, ps)
+			t = pt
+		}
+		return s, t
+	case altNode:
+		s, t := m.newState(), m.newState()
+		for _, part := range n.parts {
+			ps, pt := m.build(part)
+			m.addEps(s, ps)
+			m.addEps(pt, t)
+		}
+		return s, t
+	case starNode:
+		s, t := m.newState(), m.newState()
+		is, it := m.build(n.inner)
+		m.addEps(s, is)
+		m.addEps(s, t)
+		m.addEps(it, is)
+		m.addEps(it, t)
+		return s, t
+	case plusNode:
+		s, t := m.newState(), m.newState()
+		is, it := m.build(n.inner)
+		m.addEps(s, is)
+		m.addEps(it, is)
+		m.addEps(it, t)
+		return s, t
+	case optNode:
+		s, t := m.newState(), m.newState()
+		is, it := m.build(n.inner)
+		m.addEps(s, is)
+		m.addEps(s, t)
+		m.addEps(it, t)
+		return s, t
+	}
+	panic("rpq: unknown AST node")
+}
+
+// closure expands a state set with its ε-closure, in place, returning the
+// updated set (a sorted, deduplicated slice of states).
+func (m *nfa) closure(states map[int]bool) {
+	stack := make([]int, 0, len(states))
+	for s := range states {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range m.eps[s] {
+			if !states[t] {
+				states[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+}
+
+// matchWord reports whether a label word is in the NFA's language — the
+// reference matcher used by tests and by the naive evaluator.
+func (m *nfa) matchWord(word []string) bool {
+	cur := map[int]bool{m.start: true}
+	m.closure(cur)
+	for _, label := range word {
+		next := make(map[int]bool)
+		for s := range cur {
+			for _, t := range m.trans[s][label] {
+				next[t] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		m.closure(next)
+		cur = next
+	}
+	return cur[m.accept]
+}

@@ -1,0 +1,76 @@
+// Package scan provides the field tokenizer shared by the graph and
+// pattern text formats: whitespace-separated fields with optional
+// double-quoted fields (Go string-literal escaping) for values containing
+// spaces, such as the label "Redmi 2A".
+package scan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Fields splits a line into fields. Double-quoted fields may contain
+// spaces and use Go string-literal escapes. The line is scanned rune by
+// rune: a continuation byte of a multibyte character must never be
+// mistaken for a space (0x85 and 0xA0 are Unicode spaces as code points
+// but ordinary bytes inside UTF-8 sequences).
+func Fields(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		r, size := utf8.DecodeRuneInString(line[i:])
+		switch {
+		case unicode.IsSpace(r):
+			i += size
+		case r == '"':
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quote at column %d", i+1)
+			}
+			s, err := strconv.Unquote(line[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted field at column %d: %v", i+1, err)
+			}
+			out = append(out, s)
+			i = j + 1
+		default:
+			j := i
+			for j < len(line) {
+				r2, sz := utf8.DecodeRuneInString(line[j:])
+				if unicode.IsSpace(r2) {
+					break
+				}
+				j += sz
+			}
+			out = append(out, line[i:j])
+			i = j
+		}
+	}
+	return out, nil
+}
+
+// Quote renders a field for output: quoted if it is empty or contains
+// whitespace, quotes, backslashes or non-printable runes; verbatim
+// otherwise.
+func Quote(s string) string {
+	needs := s == "" || strings.ContainsFunc(s, func(r rune) bool {
+		return unicode.IsSpace(r) || r == '"' || r == '\\' || !unicode.IsPrint(r)
+	})
+	if needs {
+		return strconv.Quote(s)
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package scan
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFields(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a b c", []string{"a", "b", "c"}},
+		{"  a\t b ", []string{"a", "b"}},
+		{`n 0 "Redmi 2A"`, []string{"n", "0", "Redmi 2A"}},
+		{`"a \"b\"" c`, []string{`a "b"`, "c"}},
+		{`""`, []string{""}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got, err := Fields(c.in)
+		if err != nil {
+			t.Errorf("Fields(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Fields(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFieldsErrors(t *testing.T) {
+	for _, in := range []string{`"unterminated`, `a "b`} {
+		if _, err := Fields(in); err == nil {
+			t.Errorf("Fields(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestQuote(t *testing.T) {
+	cases := map[string]string{
+		"plain":    "plain",
+		"has sp":   `"has sp"`,
+		"":         `""`,
+		`q"uote`:   `"q\"uote"`,
+		"tab\ttab": `"tab\ttab"`,
+	}
+	for in, want := range cases {
+		if got := Quote(in); got != want {
+			t.Errorf("Quote(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: Fields(Quote(a) + " " + Quote(b)) round-trips arbitrary
+// printable strings.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(a, b string) bool {
+		got, err := Fields(Quote(a) + " " + Quote(b))
+		if err != nil {
+			return false
+		}
+		return len(got) == 2 && got[0] == a && got[1] == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: multibyte runes whose UTF-8 encoding contains bytes 0x85 or
+// 0xA0 (Unicode spaces as code points, ordinary continuation bytes in a
+// sequence) must not split an unquoted field. "ą" is 0xC4 0x85; U+2028 is
+// 0xE2 0x80 0xA8 with a 0xA0-adjacent variant in U+00A0.
+func TestFieldsMultibyteNotSplit(t *testing.T) {
+	for _, s := range []string{"ą", "zając", "aąb", "x y"} {
+		got, err := Fields(Quote(s))
+		if err != nil {
+			t.Fatalf("Fields(Quote(%q)): %v", s, err)
+		}
+		if len(got) != 1 || got[0] != s {
+			t.Errorf("Fields(Quote(%q)) = %q, want one field", s, got)
+		}
+	}
+	// U+1680 (ogham space mark) IS a printable space: it must be quoted
+	// by Quote and survive; raw it must split.
+	got, err := Fields("a b")
+	if err != nil || len(got) != 2 {
+		t.Errorf("raw ogham space: got %q, %v; want split into 2", got, err)
+	}
+}

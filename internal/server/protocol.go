@@ -1,0 +1,129 @@
+package server
+
+import (
+	"repro/internal/match"
+)
+
+// The wire protocol is newline-delimited JSON over TCP: one Request per
+// line from the client, one Response per line from the server, matched by
+// Id. Requests on one connection are processed in order; concurrency
+// comes from multiple connections, bounded by Config.MaxConcurrent.
+//
+// Commands:
+//
+//	ping      — liveness check
+//	gen       — generate a synthetic graph into the session
+//	load      — load a graph from inline text (graph DSL or JSON document)
+//	update    — apply a mutation batch to the session graph
+//	watch     — register a standing pattern; every later update reports
+//	            its answer-set delta (incremental maintenance, §5.2 remark)
+//	unwatch   — remove a standing pattern
+//	stats     — summary + top triple classes of the session graph
+//	match     — evaluate a QGP (sequential engines)
+//	pmatch    — evaluate a QGP over a d-hop partition in parallel
+//	rule      — evaluate a QGAR (support, confidence, matches)
+//	rpqfilter — evaluate a QGP, then filter by a quantified path constraint
+//	partition — build a partition and report balance
+//
+// The session graph persists across requests on the same connection.
+
+// Request is one client command.
+type Request struct {
+	ID  int64  `json:"id"`
+	Cmd string `json:"cmd"`
+
+	// gen
+	Kind string `json:"kind,omitempty"` // social | knowledge | smallworld
+	Size int    `json:"size,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+
+	// load
+	Format string `json:"format,omitempty"` // text | json
+	Data   string `json:"data,omitempty"`
+
+	// match / pmatch / rpqfilter / rule
+	Pattern string `json:"pattern,omitempty"` // QGP DSL
+	Engine  string `json:"engine,omitempty"`  // qmatch (default) | qmatchn | enum
+	Planner bool   `json:"planner,omitempty"` // use the statistics-driven order
+	Budget  int64  `json:"budget,omitempty"`  // extension budget (0 = server default)
+	Limit   int    `json:"limit,omitempty"`   // cap returned matches (0 = all)
+
+	// pmatch / partition
+	Workers int `json:"workers,omitempty"`
+	Threads int `json:"threads,omitempty"`
+	D       int `json:"d,omitempty"`
+
+	// rule
+	Consequent string  `json:"consequent,omitempty"` // Q2 DSL; Pattern is Q1
+	Eta        float64 `json:"eta,omitempty"`        // confidence threshold
+
+	// rpqfilter
+	Constraint string `json:"constraint,omitempty"` // "expr within N quant"
+
+	// stats
+	TopK int `json:"topK,omitempty"`
+
+	// update
+	Updates []UpdateSpec `json:"updates,omitempty"`
+
+	// watch / unwatch: the watch's name (Pattern carries the QGP for
+	// watch).
+	Watch string `json:"watch,omitempty"`
+}
+
+// UpdateSpec is one graph mutation in the wire format of the update
+// command. Op is "addNode" (Label), "addEdge"/"removeEdge" (From, To,
+// Label) or "removeNode" (From; isolates the node, ids stay stable).
+type UpdateSpec struct {
+	Op    string `json:"op"`
+	From  int64  `json:"from,omitempty"`
+	To    int64  `json:"to,omitempty"`
+	Label string `json:"label,omitempty"`
+}
+
+// Response is one server reply.
+type Response struct {
+	ID    int64  `json:"id"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	// ping
+	Pong bool `json:"pong,omitempty"`
+
+	// gen / load
+	Nodes int `json:"nodes,omitempty"`
+	Edges int `json:"edges,omitempty"`
+
+	// match family
+	Matches   []int64        `json:"matches,omitempty"`
+	Total     int            `json:"total,omitempty"` // before Limit
+	Metrics   *match.Metrics `json:"metrics,omitempty"`
+	ElapsedMS float64        `json:"elapsedMs,omitempty"`
+
+	// rule
+	Support    int     `json:"support,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	Lift       float64 `json:"lift,omitempty"`
+	Identified []int64 `json:"identified,omitempty"`
+
+	// partition
+	Skew      float64 `json:"skew,omitempty"`
+	Fragments []int   `json:"fragments,omitempty"` // per-fragment sizes
+
+	// stats
+	Labels  int      `json:"labels,omitempty"`
+	Triples []string `json:"triples,omitempty"`
+
+	// update: per-watch answer deltas; watch: the initial answer set is
+	// returned in Matches.
+	Deltas []WatchDelta `json:"deltas,omitempty"`
+}
+
+// WatchDelta reports how one update batch changed a standing pattern's
+// answers.
+type WatchDelta struct {
+	Watch    string  `json:"watch"`
+	Added    []int64 `json:"added,omitempty"`
+	Removed  []int64 `json:"removed,omitempty"`
+	Affected int     `json:"affected"` // focus candidates re-verified
+}

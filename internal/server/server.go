@@ -1,0 +1,603 @@
+// Package server exposes quantified graph pattern matching over TCP with
+// a newline-delimited JSON protocol. Each connection is a session holding
+// one graph; queries on a session run sequentially while sessions run
+// concurrently, bounded by a server-wide semaphore so a burst of
+// expensive pattern queries cannot exhaust the machine. Every query runs
+// under an extension budget (Config.DefaultBudget) so a pathological
+// pattern returns an error instead of hanging the session.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/match"
+	"repro/internal/parallel"
+	"repro/internal/partition"
+	"repro/internal/plan"
+	"repro/internal/rpq"
+	"repro/internal/rules"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// Config tunes a server.
+type Config struct {
+	// MaxConcurrent bounds simultaneously executing queries across all
+	// connections (default 4).
+	MaxConcurrent int
+	// DefaultBudget is the extension budget applied to queries that do
+	// not set one (default 50M attempts). 0 keeps the default; -1
+	// disables budgeting.
+	DefaultBudget int64
+	// MaxLineBytes bounds one request line (default 64 MiB).
+	MaxLineBytes int
+	// MaxGraphSize bounds |V|+|E| of gen/load graphs (default 50M).
+	MaxGraphSize int
+	// IdleTimeout closes connections with no request for this long
+	// (default 5 minutes).
+	IdleTimeout time.Duration
+	// Logf receives server diagnostics; nil means log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+func (c *Config) fill() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.DefaultBudget == 0 {
+		c.DefaultBudget = 50_000_000
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 64 << 20
+	}
+	if c.MaxGraphSize <= 0 {
+		c.MaxGraphSize = 50_000_000
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// Server serves the QGP query protocol.
+type Server struct {
+	cfg Config
+	sem chan struct{}
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]bool
+	shutdown bool
+	wg       sync.WaitGroup
+}
+
+// New returns a server with the given configuration.
+func New(cfg Config) *Server {
+	cfg.fill()
+	return &Server{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		conns: make(map[net.Conn]bool),
+	}
+}
+
+// Serve accepts connections on ln until Shutdown. It always returns a
+// non-nil error; after Shutdown the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown stops accepting, closes the listener and all connections, and
+// waits for in-flight handlers (or the context).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.shutdown = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// session is the per-connection state.
+type session struct {
+	g       *graph.Graph
+	st      *stats.Stats // lazily computed, reset on graph change
+	watches map[string]*dynamic.Matcher
+}
+
+// setGraph replaces the session graph wholesale (gen/load); standing
+// watches are dropped because their cached answers refer to the old
+// graph's node ids. Incremental changes go through handleUpdate, which
+// maintains the watches instead.
+func (sess *session) setGraph(g *graph.Graph) {
+	sess.g = g
+	sess.st = nil
+	sess.watches = nil
+}
+
+func (sess *session) stats() *stats.Stats {
+	if sess.st == nil && sess.g != nil {
+		sess.st = stats.Collect(sess.g)
+	}
+	return sess.st
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sess := &session{}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), s.cfg.MaxLineBytes)
+	out := bufio.NewWriter(conn)
+	enc := json.NewEncoder(out)
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("server: %v: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp.Error = fmt.Sprintf("bad request: %v", err)
+		} else {
+			resp = s.handle(sess, &req)
+		}
+		resp.ID = req.ID
+		resp.OK = resp.Error == ""
+		if err := enc.Encode(&resp); err != nil {
+			s.cfg.Logf("server: %v: write: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handle runs one request under the concurrency semaphore.
+func (s *Server) handle(sess *session, req *Request) Response {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	start := time.Now()
+
+	var resp Response
+	var err error
+	switch req.Cmd {
+	case "ping":
+		resp.Pong = true
+	case "gen":
+		err = s.handleGen(sess, req, &resp)
+	case "load":
+		err = s.handleLoad(sess, req, &resp)
+	case "update":
+		err = s.handleUpdate(sess, req, &resp)
+	case "watch":
+		err = s.handleWatch(sess, req, &resp)
+	case "unwatch":
+		err = s.handleUnwatch(sess, req, &resp)
+	case "stats":
+		err = s.handleStats(sess, req, &resp)
+	case "match":
+		err = s.handleMatch(sess, req, &resp)
+	case "pmatch":
+		err = s.handlePMatch(sess, req, &resp)
+	case "rule":
+		err = s.handleRule(sess, req, &resp)
+	case "rpqfilter":
+		err = s.handleRPQFilter(sess, req, &resp)
+	case "partition":
+		err = s.handlePartition(sess, req, &resp)
+	default:
+		err = fmt.Errorf("unknown command %q", req.Cmd)
+	}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return resp
+}
+
+func (s *Server) handleGen(sess *session, req *Request, resp *Response) error {
+	size := req.Size
+	if size <= 0 {
+		size = 1000
+	}
+	var g *graph.Graph
+	switch req.Kind {
+	case "social", "":
+		g = gen.Social(gen.DefaultSocial(size, req.Seed))
+	case "knowledge":
+		g = gen.Knowledge(gen.DefaultKnowledge(size, req.Seed))
+	case "smallworld":
+		g = gen.SmallWorld(gen.SmallWorldConfig{Nodes: size, Edges: 2 * size, Labels: 30, Seed: req.Seed})
+	default:
+		return fmt.Errorf("unknown graph kind %q", req.Kind)
+	}
+	if g.Size() > s.cfg.MaxGraphSize {
+		return fmt.Errorf("generated graph size %d exceeds server cap %d", g.Size(), s.cfg.MaxGraphSize)
+	}
+	sess.setGraph(g)
+	resp.Nodes, resp.Edges = g.NumNodes(), g.NumEdges()
+	return nil
+}
+
+func (s *Server) handleLoad(sess *session, req *Request, resp *Response) error {
+	var g *graph.Graph
+	switch req.Format {
+	case "text", "":
+		parsed, err := graph.Read(strings.NewReader(req.Data))
+		if err != nil {
+			return err
+		}
+		g = parsed
+	case "json":
+		res, err := load.JSON(strings.NewReader(req.Data))
+		if err != nil {
+			return err
+		}
+		g = res.Graph
+	default:
+		return fmt.Errorf("unknown load format %q", req.Format)
+	}
+	if g.Size() > s.cfg.MaxGraphSize {
+		return fmt.Errorf("graph size %d exceeds server cap %d", g.Size(), s.cfg.MaxGraphSize)
+	}
+	sess.setGraph(g)
+	resp.Nodes, resp.Edges = g.NumNodes(), g.NumEdges()
+	return nil
+}
+
+// handleUpdate applies a mutation batch to the session graph and
+// incrementally maintains every standing watch; an error anywhere in the
+// batch leaves the session graph unchanged (dynamic.Apply is
+// copy-on-write) and the watches untouched.
+func (s *Server) handleUpdate(sess *session, req *Request, resp *Response) error {
+	if sess.g == nil {
+		return errNoGraph
+	}
+	if len(req.Updates) == 0 {
+		return fmt.Errorf("update: empty batch")
+	}
+	ups := make([]dynamic.Update, len(req.Updates))
+	for i, u := range req.Updates {
+		switch u.Op {
+		case "addNode":
+			ups[i] = store.AddNode(u.Label)
+		case "addEdge":
+			ups[i] = store.AddEdge(int32(u.From), int32(u.To), u.Label)
+		case "removeEdge":
+			ups[i] = store.RemoveEdge(int32(u.From), int32(u.To), u.Label)
+		case "removeNode":
+			ups[i] = store.RemoveNode(int32(u.From))
+		default:
+			return fmt.Errorf("update %d: unknown op %q", i, u.Op)
+		}
+	}
+	ng, _, err := dynamic.Apply(sess.g, ups)
+	if err != nil {
+		return err
+	}
+	if ng.Size() > s.cfg.MaxGraphSize {
+		return fmt.Errorf("updated graph size %d exceeds server cap %d", ng.Size(), s.cfg.MaxGraphSize)
+	}
+	// Graph replacement must not drop the watches: swap in place and
+	// reset only the cached statistics.
+	sess.g = ng
+	sess.st = nil
+	names := make([]string, 0, len(sess.watches))
+	for name := range sess.watches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		delta, err := sess.watches[name].Apply(ups)
+		if err != nil {
+			return fmt.Errorf("watch %q: %w", name, err)
+		}
+		wd := WatchDelta{Watch: name, Affected: delta.Affected}
+		for _, v := range delta.Added {
+			wd.Added = append(wd.Added, int64(v))
+		}
+		for _, v := range delta.Removed {
+			wd.Removed = append(wd.Removed, int64(v))
+		}
+		resp.Deltas = append(resp.Deltas, wd)
+	}
+	resp.Nodes, resp.Edges = ng.NumNodes(), ng.NumEdges()
+	return nil
+}
+
+// handleWatch registers a standing pattern under a name; the response
+// carries the initial answer set. Later update commands report this
+// watch's delta.
+func (s *Server) handleWatch(sess *session, req *Request, resp *Response) error {
+	if sess.g == nil {
+		return errNoGraph
+	}
+	if req.Watch == "" {
+		return fmt.Errorf("watch: empty name")
+	}
+	if _, dup := sess.watches[req.Watch]; dup {
+		return fmt.Errorf("watch %q already registered", req.Watch)
+	}
+	if len(sess.watches) >= 16 {
+		return fmt.Errorf("watch: session limit of 16 standing patterns reached")
+	}
+	q, err := core.Parse(req.Pattern)
+	if err != nil {
+		return err
+	}
+	m, err := dynamic.NewMatcher(sess.g, q)
+	if err != nil {
+		return err
+	}
+	if sess.watches == nil {
+		sess.watches = make(map[string]*dynamic.Matcher)
+	}
+	sess.watches[req.Watch] = m
+	fillMatches(resp, m.Answers(), req.Limit)
+	return nil
+}
+
+// handleUnwatch removes a standing pattern.
+func (s *Server) handleUnwatch(sess *session, req *Request, resp *Response) error {
+	if _, ok := sess.watches[req.Watch]; !ok {
+		return fmt.Errorf("no watch named %q", req.Watch)
+	}
+	delete(sess.watches, req.Watch)
+	return nil
+}
+
+func (s *Server) handleStats(sess *session, req *Request, resp *Response) error {
+	if sess.g == nil {
+		return errNoGraph
+	}
+	st := sess.stats()
+	resp.Nodes, resp.Edges = st.Nodes, st.Edges
+	resp.Labels = len(st.LabelCount)
+	k := req.TopK
+	if k <= 0 {
+		k = 10
+	}
+	for _, t := range st.TopTriples(k) {
+		resp.Triples = append(resp.Triples, st.Describe(sess.g, t))
+	}
+	return nil
+}
+
+var errNoGraph = errors.New("no graph loaded: run gen or load first")
+
+func (s *Server) budget(req *Request) int64 {
+	switch {
+	case req.Budget > 0:
+		return req.Budget
+	case s.cfg.DefaultBudget < 0:
+		return 0
+	default:
+		return s.cfg.DefaultBudget
+	}
+}
+
+func (s *Server) matchOptions(sess *session, req *Request) *match.Options {
+	opts := &match.Options{ExtensionBudget: s.budget(req)}
+	if req.Planner {
+		opts.OrderBy = plan.OrderFunc(sess.g, sess.stats())
+	}
+	return opts
+}
+
+func (s *Server) handleMatch(sess *session, req *Request, resp *Response) error {
+	if sess.g == nil {
+		return errNoGraph
+	}
+	q, err := core.Parse(req.Pattern)
+	if err != nil {
+		return err
+	}
+	var res *match.Result
+	switch req.Engine {
+	case "qmatch", "":
+		res, err = match.QMatch(sess.g, q, s.matchOptions(sess, req))
+	case "qmatchn":
+		res, err = match.QMatchN(sess.g, q, s.matchOptions(sess, req))
+	case "enum":
+		res, err = match.Enum(sess.g, q, s.matchOptions(sess, req))
+	default:
+		return fmt.Errorf("unknown engine %q", req.Engine)
+	}
+	if err != nil {
+		return err
+	}
+	fillMatches(resp, res.Matches, req.Limit)
+	resp.Metrics = &res.Metrics
+	return nil
+}
+
+func (s *Server) handlePMatch(sess *session, req *Request, resp *Response) error {
+	if sess.g == nil {
+		return errNoGraph
+	}
+	q, err := core.Parse(req.Pattern)
+	if err != nil {
+		return err
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	threads := req.Threads
+	if threads <= 0 {
+		threads = 2
+	}
+	d := req.D
+	if need := parallel.RequiredHops(q); d < need {
+		d = need
+	}
+	p, err := partition.DPar(sess.g, partition.Config{Workers: workers, D: d})
+	if err != nil {
+		return err
+	}
+	res, err := parallel.PQMatch(parallel.NewCluster(p), q, threads)
+	if err != nil {
+		return err
+	}
+	fillMatches(resp, res.Matches, req.Limit)
+	resp.Metrics = &res.Metrics
+	return nil
+}
+
+func (s *Server) handleRule(sess *session, req *Request, resp *Response) error {
+	if sess.g == nil {
+		return errNoGraph
+	}
+	q1, err := core.Parse(req.Pattern)
+	if err != nil {
+		return fmt.Errorf("antecedent: %w", err)
+	}
+	q2, err := core.Parse(req.Consequent)
+	if err != nil {
+		return fmt.Errorf("consequent: %w", err)
+	}
+	r, err := rules.New("request", q1, q2)
+	if err != nil {
+		return err
+	}
+	ev, err := r.Evaluate(sess.g)
+	if err != nil {
+		return err
+	}
+	fillMatches(resp, ev.Matches, req.Limit)
+	resp.Support = ev.Support
+	resp.Confidence = ev.Confidence
+	resp.Lift = ev.Lift
+	if req.Eta > 0 && ev.Confidence >= req.Eta {
+		for _, v := range ev.Matches {
+			resp.Identified = append(resp.Identified, int64(v))
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleRPQFilter(sess *session, req *Request, resp *Response) error {
+	if sess.g == nil {
+		return errNoGraph
+	}
+	q, err := core.Parse(req.Pattern)
+	if err != nil {
+		return err
+	}
+	c, err := rpq.ParseConstraint(req.Constraint)
+	if err != nil {
+		return err
+	}
+	res, err := match.QMatch(sess.g, q, s.matchOptions(sess, req))
+	if err != nil {
+		return err
+	}
+	filtered := rpq.Filter(sess.g, res.Matches, c)
+	fillMatches(resp, filtered, req.Limit)
+	resp.Total = len(filtered)
+	resp.Metrics = &res.Metrics
+	return nil
+}
+
+func (s *Server) handlePartition(sess *session, req *Request, resp *Response) error {
+	if sess.g == nil {
+		return errNoGraph
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	d := req.D
+	if d <= 0 {
+		d = 2
+	}
+	p, err := partition.DPar(sess.g, partition.Config{Workers: workers, D: d})
+	if err != nil {
+		return err
+	}
+	resp.Skew = p.Skew()
+	for _, f := range p.Fragments {
+		resp.Fragments = append(resp.Fragments, f.Size)
+	}
+	return nil
+}
+
+func fillMatches(resp *Response, matches []graph.NodeID, limit int) {
+	resp.Total = len(matches)
+	if limit > 0 && len(matches) > limit {
+		matches = matches[:limit]
+	}
+	resp.Matches = make([]int64, len(matches))
+	for i, v := range matches {
+		resp.Matches[i] = int64(v)
+	}
+}

@@ -1,0 +1,128 @@
+// Package simulation implements the graph-simulation candidate filter of
+// the paper's Appendix B (Lemma 13): a quantifier-aware dual simulation
+// that over-approximates isomorphism participation and is used by QMatch
+// to shrink candidate sets before search.
+package simulation
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Candidates returns, for each pattern node u, the set of graph nodes that
+// (quantified-)simulate u. The result over-approximates the match sets
+// Q(u, G): every node appearing as h(u) in a valid quantified match of the
+// pattern's positive part survives the refinement.
+//
+// The initial sets are label-based. Refinement then repeatedly removes a
+// candidate v of u when
+//
+//   - some non-negated out-edge e = (u, u′) has fewer than need(e, v)
+//     children of v (via e's label) left in C(u′), where need is the
+//     numeric threshold of e's quantifier at total |Me(v)| (Lemma 13's
+//     |R(vx,v,G)| ⊙ p test, with need = 1 for existential edges), or
+//   - some non-negated in-edge (u″, u) leaves v without any candidate
+//     parent in C(u″).
+//
+// When quantified is false, thresholds are ignored and need is always 1
+// (plain dual simulation); this is used for differential testing.
+//
+// The boolean result is false when some pattern node ends up with an empty
+// candidate set (the pattern has no matches at all).
+func Candidates(g *graph.Graph, p *core.Pattern, quantified bool) ([]*bitset.Set, bool) {
+	n := g.NumNodes()
+	sets := make([]*bitset.Set, len(p.Nodes))
+	for u, pn := range p.Nodes {
+		sets[u] = bitset.New(n)
+		for _, v := range g.NodesByLabelName(pn.Label) {
+			sets[u].Add(int(v))
+		}
+		if sets[u].Empty() {
+			return sets, false
+		}
+	}
+
+	edgeLabel := make([]graph.LabelID, len(p.Edges))
+	for i, e := range p.Edges {
+		edgeLabel[i] = g.LookupLabel(e.Label)
+		if edgeLabel[i] == graph.NoLabel && !e.IsNegated() {
+			// A required edge label absent from the graph: no matches.
+			for u := range sets {
+				sets[u].Clear()
+			}
+			return sets, false
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for u := range p.Nodes {
+			var removed []int
+			sets[u].ForEach(func(vi int) bool {
+				if !simOK(g, p, sets, edgeLabel, u, graph.NodeID(vi), quantified) {
+					removed = append(removed, vi)
+				}
+				return true
+			})
+			for _, vi := range removed {
+				sets[u].Remove(vi)
+				changed = true
+			}
+			if sets[u].Empty() {
+				return sets, false
+			}
+		}
+	}
+	return sets, true
+}
+
+// simOK checks the local simulation conditions for candidate v of pattern
+// node u.
+func simOK(g *graph.Graph, p *core.Pattern, sets []*bitset.Set, edgeLabel []graph.LabelID, u int, v graph.NodeID, quantified bool) bool {
+	for i, e := range p.Edges {
+		if e.IsNegated() {
+			continue
+		}
+		l := edgeLabel[i]
+		if e.From == u {
+			total := g.CountOut(v, l)
+			need := 1
+			if quantified {
+				var ok bool
+				need, ok = e.Q.Threshold(total)
+				if !ok {
+					return false
+				}
+				if need < 1 {
+					need = 1 // the edge must still be embeddable
+				}
+			}
+			cnt := 0
+			for _, ge := range g.OutByLabel(v, l) {
+				if sets[e.To].Contains(int(ge.To)) {
+					cnt++
+					if cnt >= need {
+						break
+					}
+				}
+			}
+			if cnt < need {
+				return false
+			}
+		}
+		if e.To == u {
+			found := false
+			for _, ge := range g.InByLabel(v, l) {
+				if sets[e.From].Contains(int(ge.To)) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+package simulation_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/graph"
+	"repro/internal/simulation"
+)
+
+func TestCandidatesOnG1(t *testing.T) {
+	f := fixture.NewG1()
+	q := fixture.Q2() // universal pattern: xo -follow(=100%)-> z -recom-> Redmi
+	sets, ok := simulation.Candidates(f.G, q, false)
+	if !ok {
+		t.Fatal("plain simulation found no candidates")
+	}
+	// Plain simulation: xo candidates are all followers (x1, x2, x3).
+	xo, _ := q.NodeIndex("xo")
+	if got := sets[xo].Count(); got != 3 {
+		t.Errorf("plain C(xo) = %d, want 3", got)
+	}
+
+	qsets, ok := simulation.Candidates(f.G, q, true)
+	if !ok {
+		t.Fatal("quantified simulation found no candidates")
+	}
+	// Quantified (=100%): x3 is pruned — v4 never simulates z (no recom).
+	if qsets[xo].Contains(int(f.X3)) {
+		t.Error("quantified simulation kept x3, whose followee v4 lacks recom")
+	}
+	if !qsets[xo].Contains(int(f.X1)) || !qsets[xo].Contains(int(f.X2)) {
+		t.Error("quantified simulation dropped a true match")
+	}
+}
+
+func TestCandidatesEmptyLabel(t *testing.T) {
+	f := fixture.NewG1()
+	p := core.NewPattern()
+	p.AddNode("xo", "martian")
+	p.AddNode("z", "person")
+	p.AddEdge("xo", "z", "follow", core.Exists())
+	if _, ok := simulation.Candidates(f.G, p, false); ok {
+		t.Error("absent node label should yield no candidates")
+	}
+
+	p2 := core.NewPattern()
+	p2.AddNode("xo", "person")
+	p2.AddNode("z", "person")
+	p2.AddEdge("xo", "z", "teleport", core.Exists())
+	if _, ok := simulation.Candidates(f.G, p2, false); ok {
+		t.Error("absent edge label should yield no candidates")
+	}
+}
+
+func TestNegatedEdgesIgnored(t *testing.T) {
+	// Simulation on a full negative pattern must not force negated edges
+	// to exist.
+	f := fixture.NewG2()
+	q := fixture.Q5()
+	sets, ok := simulation.Candidates(f.G, q, false)
+	if !ok {
+		t.Fatal("simulation failed on Q5")
+	}
+	xo, _ := q.NodeIndex("xo")
+	if sets[xo].Count() == 0 {
+		t.Error("negated edges should not constrain candidates")
+	}
+}
+
+// Soundness property: every image of every stratified isomorphism survives
+// plain simulation, and every image of a quantifier-valid match survives
+// quantified simulation. Verified against brute-force enumeration.
+func TestQuickSoundness(t *testing.T) {
+	nodeLabels := []string{"a", "b"}
+	edgeLabels := []string{"R", "S"}
+	for seed := 0; seed < 150; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		n := 3 + r.Intn(8)
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			g.AddNode(nodeLabels[r.Intn(2)])
+		}
+		for i := 0; i < r.Intn(3*n); i++ {
+			a, b := graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n))
+			if a != b {
+				g.AddEdge(a, b, edgeLabels[r.Intn(2)])
+			}
+		}
+		g.Finalize()
+
+		p := core.NewPattern()
+		k := 2 + r.Intn(3)
+		for i := 0; i < k; i++ {
+			p.AddNode(fmt.Sprintf("u%d", i), nodeLabels[r.Intn(2)])
+		}
+		for i := 1; i < k; i++ {
+			q := core.Exists()
+			if r.Intn(3) == 0 {
+				q = core.Count(core.GE, 1+r.Intn(2))
+			}
+			p.AddEdge(fmt.Sprintf("u%d", r.Intn(i)), fmt.Sprintf("u%d", i), edgeLabels[r.Intn(2)], q)
+		}
+		if p.Validate() != nil {
+			continue
+		}
+
+		sets, ok := simulation.Candidates(g, p, false)
+		images := isoImages(g, p)
+		if !ok {
+			if len(images[0]) != 0 {
+				t.Fatalf("seed %d: simulation empty but isomorphisms exist", seed)
+			}
+			continue
+		}
+		for u, vs := range images {
+			for v := range vs {
+				if !sets[u].Contains(int(v)) {
+					t.Fatalf("seed %d: plain simulation dropped image %d of node %d", seed, v, u)
+				}
+			}
+		}
+	}
+}
+
+// isoImages returns, per pattern node, the set of graph nodes appearing in
+// some stratified isomorphism (brute force).
+func isoImages(g *graph.Graph, p *core.Pattern) []map[graph.NodeID]bool {
+	images := make([]map[graph.NodeID]bool, len(p.Nodes))
+	for i := range images {
+		images[i] = map[graph.NodeID]bool{}
+	}
+	assign := make([]graph.NodeID, len(p.Nodes))
+	used := map[graph.NodeID]bool{}
+	var rec func(u int)
+	rec = func(u int) {
+		if u == len(p.Nodes) {
+			for _, e := range p.Edges {
+				l := g.LookupLabel(e.Label)
+				if l == graph.NoLabel || !g.HasEdge(assign[e.From], assign[e.To], l) {
+					return
+				}
+			}
+			for i, v := range assign {
+				images[i][v] = true
+			}
+			return
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			w := graph.NodeID(v)
+			if used[w] || g.NodeLabelName(w) != p.Nodes[u].Label {
+				continue
+			}
+			assign[u] = w
+			used[w] = true
+			rec(u + 1)
+			used[w] = false
+		}
+	}
+	rec(0)
+	return images
+}

@@ -1,0 +1,197 @@
+// Package stats computes graph summary statistics used for cardinality
+// estimation and query planning: node-label histograms, edge-triple
+// (source label, edge label, target label) frequencies, and per-triple
+// fan-out/fan-in averages.
+//
+// The statistics are a single O(|G|) pass over the graph and are
+// deterministic. They power the selectivity estimates that internal/plan
+// uses to choose a matching order for a pattern, and they are served by
+// the STATS command of the query server.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Triple identifies an edge class: the label of the source node, the edge
+// label, and the label of the target node.
+type Triple struct {
+	Src, Edge, Dst graph.LabelID
+}
+
+// TripleStats aggregates the edges of one triple class.
+type TripleStats struct {
+	// Count is the number of edges in the class.
+	Count int
+	// SrcNodes is the number of distinct source nodes with at least one
+	// edge in the class; DstNodes likewise for targets.
+	SrcNodes int
+	DstNodes int
+}
+
+// AvgFanOut returns the average number of class edges per participating
+// source node (≥ 1 when Count > 0).
+func (t TripleStats) AvgFanOut() float64 {
+	if t.SrcNodes == 0 {
+		return 0
+	}
+	return float64(t.Count) / float64(t.SrcNodes)
+}
+
+// AvgFanIn returns the average number of class edges per participating
+// target node.
+func (t TripleStats) AvgFanIn() float64 {
+	if t.DstNodes == 0 {
+		return 0
+	}
+	return float64(t.Count) / float64(t.DstNodes)
+}
+
+// Stats is the statistics summary of one graph. Build it with Collect.
+type Stats struct {
+	Nodes int
+	Edges int
+
+	// LabelCount[l] is the number of nodes with label l.
+	LabelCount map[graph.LabelID]int
+
+	// Triples maps each edge class to its aggregate.
+	Triples map[Triple]TripleStats
+
+	// MaxOutDegree and MaxInDegree are over all nodes and labels.
+	MaxOutDegree int
+	MaxInDegree  int
+}
+
+// Collect computes statistics for a finalized graph in one pass.
+func Collect(g *graph.Graph) *Stats {
+	s := &Stats{
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		LabelCount: make(map[graph.LabelID]int),
+		Triples:    make(map[Triple]TripleStats),
+	}
+	n := g.NumNodes()
+	// lastSrc/lastDst record, per triple class, the most recent node counted
+	// as a distinct participant. Nodes are visited in ascending order, so a
+	// "last == v" check deduplicates without a per-node set.
+	lastSrc := make(map[Triple]graph.NodeID)
+	lastDst := make(map[Triple]graph.NodeID)
+	for vi := 0; vi < n; vi++ {
+		v := graph.NodeID(vi)
+		s.LabelCount[g.NodeLabel(v)]++
+		if d := g.OutDegree(v); d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+		}
+		if d := g.InDegree(v); d > s.MaxInDegree {
+			s.MaxInDegree = d
+		}
+		srcLabel := g.NodeLabel(v)
+		for _, e := range g.Out(v) {
+			t := Triple{Src: srcLabel, Edge: e.Label, Dst: g.NodeLabel(e.To)}
+			ts := s.Triples[t]
+			ts.Count++
+			if last, ok := lastSrc[t]; !ok || last != v {
+				ts.SrcNodes++
+				lastSrc[t] = v
+			}
+			s.Triples[t] = ts
+		}
+		dstLabel := srcLabel
+		for _, e := range g.In(v) {
+			t := Triple{Src: g.NodeLabel(e.To), Edge: e.Label, Dst: dstLabel}
+			if last, ok := lastDst[t]; !ok || last != v {
+				ts := s.Triples[t]
+				ts.DstNodes++
+				s.Triples[t] = ts
+				lastDst[t] = v
+			}
+		}
+	}
+	return s
+}
+
+// NodesWithLabel returns the number of nodes carrying label l.
+func (s *Stats) NodesWithLabel(l graph.LabelID) int { return s.LabelCount[l] }
+
+// TripleFor returns the aggregate for a triple class and whether the class
+// occurs at all.
+func (s *Stats) TripleFor(t Triple) (TripleStats, bool) {
+	ts, ok := s.Triples[t]
+	return ts, ok
+}
+
+// Selectivity estimates, for a pattern edge (u -label-> u′) between nodes
+// with the given labels, the expected number of graph edges realizing it.
+// It returns 0 when the class is absent.
+func (s *Stats) Selectivity(src, edge, dst graph.LabelID) float64 {
+	ts, ok := s.Triples[Triple{Src: src, Edge: edge, Dst: dst}]
+	if !ok {
+		return 0
+	}
+	return float64(ts.Count)
+}
+
+// EstimateEdge resolves a pattern edge's labels against the graph and
+// returns the estimated number of realizing edges. Unresolvable labels
+// estimate to 0.
+func EstimateEdge(g *graph.Graph, s *Stats, p *core.Pattern, ei int) float64 {
+	e := p.Edges[ei]
+	src := g.LookupLabel(p.Nodes[e.From].Label)
+	el := g.LookupLabel(e.Label)
+	dst := g.LookupLabel(p.Nodes[e.To].Label)
+	if src == graph.NoLabel || el == graph.NoLabel || dst == graph.NoLabel {
+		return 0
+	}
+	return s.Selectivity(src, el, dst)
+}
+
+// EstimateNode returns the estimated candidate count of a pattern node:
+// the frequency of its label. Unresolvable labels estimate to 0.
+func EstimateNode(g *graph.Graph, s *Stats, p *core.Pattern, u int) float64 {
+	l := g.LookupLabel(p.Nodes[u].Label)
+	if l == graph.NoLabel {
+		return 0
+	}
+	return float64(s.LabelCount[l])
+}
+
+// TopTriples returns the k most frequent triple classes, most frequent
+// first (all classes when k ≤ 0 or k exceeds the class count). Ties break
+// by ascending (Src, Edge, Dst) for determinism.
+func (s *Stats) TopTriples(k int) []Triple {
+	out := make([]Triple, 0, len(s.Triples))
+	for t := range s.Triples {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := s.Triples[out[i]].Count, s.Triples[out[j]].Count
+		if ci != cj {
+			return ci > cj
+		}
+		a, b := out[i], out[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Edge != b.Edge {
+			return a.Edge < b.Edge
+		}
+		return a.Dst < b.Dst
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Describe renders a triple class with label names for human consumption.
+func (s *Stats) Describe(g *graph.Graph, t Triple) string {
+	ts := s.Triples[t]
+	return fmt.Sprintf("%s -%s-> %s: count=%d srcs=%d dsts=%d fanOut=%.2f",
+		g.LabelName(t.Src), g.LabelName(t.Edge), g.LabelName(t.Dst),
+		ts.Count, ts.SrcNodes, ts.DstNodes, ts.AvgFanOut())
+}

@@ -1,0 +1,209 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Journal record layout (little-endian):
+//
+//	[4B payload length][4B CRC32C of payload][payload]
+//
+// payload:
+//
+//	uvarint seq
+//	byte    op
+//	uvarint from+1 (0 when unused)
+//	uvarint to+1   (0 when unused)
+//	uvarint len(label) + label bytes
+//
+// The file begins with the 8-byte magic "QGJRNL\x00\x01". Recovery reads
+// records until EOF, a torn tail (short read), or a CRC mismatch; the
+// valid prefix is kept and the tail discarded — the standard write-ahead
+// log contract: an fsynced record is durable, an interrupted append is
+// rolled back.
+
+var journalMagic = []byte("QGJRNL\x00\x01")
+
+const maxRecordSize = 1 << 20 // 1 MiB; a single mutation is tiny
+
+// ErrCorruptJournal is wrapped by recovery errors that are *not* a clean
+// torn tail (e.g. a bad magic header).
+var ErrCorruptJournal = errors.New("store: corrupt journal")
+
+func encodeRecord(buf []byte, seq uint64, m Mutation) []byte {
+	var payload []byte
+	payload = binary.AppendUvarint(payload, seq)
+	payload = append(payload, byte(m.Op))
+	payload = binary.AppendUvarint(payload, uint64(m.From+1))
+	payload = binary.AppendUvarint(payload, uint64(m.To+1))
+	payload = binary.AppendUvarint(payload, uint64(len(m.Label)))
+	payload = append(payload, m.Label...)
+
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	return append(buf, payload...)
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func decodePayload(payload []byte) (seq uint64, m Mutation, err error) {
+	rd := payload
+	take := func() (uint64, bool) {
+		v, n := binary.Uvarint(rd)
+		if n <= 0 {
+			return 0, false
+		}
+		rd = rd[n:]
+		return v, true
+	}
+	seq, ok := take()
+	if !ok || len(rd) == 0 {
+		return 0, m, fmt.Errorf("%w: truncated payload", ErrCorruptJournal)
+	}
+	m.Op = MutationOp(rd[0])
+	rd = rd[1:]
+	from, ok := take()
+	if !ok {
+		return 0, m, fmt.Errorf("%w: truncated from", ErrCorruptJournal)
+	}
+	to, ok := take()
+	if !ok {
+		return 0, m, fmt.Errorf("%w: truncated to", ErrCorruptJournal)
+	}
+	n, ok := take()
+	if !ok || uint64(len(rd)) != n {
+		return 0, m, fmt.Errorf("%w: bad label length", ErrCorruptJournal)
+	}
+	m.From = int32(from) - 1
+	m.To = int32(to) - 1
+	m.Label = string(rd)
+	return seq, m, nil
+}
+
+// journalWriter appends records to an open journal file.
+type journalWriter struct {
+	f     *os.File
+	buf   []byte
+	fsync bool
+}
+
+func createJournal(path string, fsync bool) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(journalMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &journalWriter{f: f, fsync: fsync}, nil
+}
+
+func openJournalForAppend(path string, fsync bool) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journalWriter{f: f, fsync: fsync}, nil
+}
+
+// append writes one batch of records and optionally fsyncs once for the
+// whole batch.
+func (w *journalWriter) append(seqStart uint64, muts []Mutation) error {
+	w.buf = w.buf[:0]
+	for i, m := range muts {
+		w.buf = encodeRecord(w.buf, seqStart+uint64(i), m)
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return err
+	}
+	if w.fsync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *journalWriter) Close() error { return w.f.Close() }
+
+// RecoveryInfo reports what journal replay found.
+type RecoveryInfo struct {
+	// Applied is the number of journal records applied on top of the
+	// snapshot.
+	Applied int
+	// SkippedOld is the number of records with seq ≤ the snapshot's seq
+	// (already folded into the snapshot by an interrupted compaction).
+	SkippedOld int
+	// TornTail is true when recovery stopped at a truncated or
+	// CRC-corrupt tail; the valid prefix was kept.
+	TornTail bool
+}
+
+// replayJournal streams records from r, calling apply for each record
+// with seq > afterSeq. It stops cleanly at EOF or at the first torn/corrupt
+// record (reported via RecoveryInfo.TornTail). A missing or wrong magic
+// header is a hard error: that file was never a journal.
+func replayJournal(r io.Reader, afterSeq uint64, apply func(seq uint64, m Mutation) error) (RecoveryInfo, error) {
+	var info RecoveryInfo
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(journalMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		if err == io.EOF {
+			return info, fmt.Errorf("%w: empty journal file", ErrCorruptJournal)
+		}
+		return info, fmt.Errorf("%w: short magic", ErrCorruptJournal)
+	}
+	if string(magic) != string(journalMagic) {
+		return info, fmt.Errorf("%w: bad magic", ErrCorruptJournal)
+	}
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return info, nil // clean end
+			}
+			info.TornTail = true // partial header
+			return info, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxRecordSize {
+			info.TornTail = true
+			return info, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			info.TornTail = true
+			return info, nil
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			info.TornTail = true
+			return info, nil
+		}
+		seq, m, err := decodePayload(payload)
+		if err != nil {
+			// CRC passed but the payload is malformed: this is real
+			// corruption, not a torn append.
+			return info, err
+		}
+		if seq <= afterSeq {
+			info.SkippedOld++
+			continue
+		}
+		if err := apply(seq, m); err != nil {
+			return info, err
+		}
+		info.Applied++
+	}
+}

@@ -1,0 +1,86 @@
+package store
+
+import "fmt"
+
+// MutationOp enumerates the graph mutations the store journals.
+type MutationOp uint8
+
+const (
+	// OpAddNode appends a node; node ids are assigned densely in
+	// application order, so replaying a journal reproduces the same ids.
+	OpAddNode MutationOp = iota + 1
+	// OpAddEdge inserts a labeled directed edge. Inserting an edge that
+	// already exists is a no-op (the graph is a simple multigraph per
+	// label: at most one (from, to, label) edge).
+	OpAddEdge
+	// OpRemoveEdge deletes a labeled directed edge; removing an absent
+	// edge is a no-op.
+	OpRemoveEdge
+	// OpRemoveNode isolates a node: all incident edges are dropped. The
+	// node slot itself remains (with its label) so that node ids stay
+	// dense and stable — the store's analogue of a tombstoned row. The
+	// dynamic layer and queries see an unreachable, degree-0 node.
+	OpRemoveNode
+)
+
+// Mutation is one journaled graph change. Which fields are meaningful
+// depends on Op: AddNode uses Label; AddEdge/RemoveEdge use From, To,
+// Label; RemoveNode uses From.
+type Mutation struct {
+	Op   MutationOp
+	From int32
+	To   int32
+	// Label is the node label for AddNode and the edge label for
+	// AddEdge/RemoveEdge.
+	Label string
+}
+
+// AddNode returns a mutation appending a node with the given label.
+func AddNode(label string) Mutation { return Mutation{Op: OpAddNode, Label: label} }
+
+// AddEdge returns a mutation inserting the edge from -> to with a label.
+func AddEdge(from, to int32, label string) Mutation {
+	return Mutation{Op: OpAddEdge, From: from, To: to, Label: label}
+}
+
+// RemoveEdge returns a mutation deleting the edge from -> to with a label.
+func RemoveEdge(from, to int32, label string) Mutation {
+	return Mutation{Op: OpRemoveEdge, From: from, To: to, Label: label}
+}
+
+// RemoveNode returns a mutation isolating node v (dropping its edges).
+func RemoveNode(v int32) Mutation { return Mutation{Op: OpRemoveNode, From: v} }
+
+func (m Mutation) String() string {
+	switch m.Op {
+	case OpAddNode:
+		return fmt.Sprintf("addNode(%s)", m.Label)
+	case OpAddEdge:
+		return fmt.Sprintf("addEdge(%d -%s-> %d)", m.From, m.Label, m.To)
+	case OpRemoveEdge:
+		return fmt.Sprintf("removeEdge(%d -%s-> %d)", m.From, m.Label, m.To)
+	case OpRemoveNode:
+		return fmt.Sprintf("removeNode(%d)", m.From)
+	}
+	return fmt.Sprintf("mutation(op=%d)", m.Op)
+}
+
+// validate rejects malformed mutations before they reach the journal, so
+// the on-disk log only ever contains applicable records.
+func (m Mutation) validate(numNodes int) error {
+	switch m.Op {
+	case OpAddNode:
+		return nil
+	case OpAddEdge, OpRemoveEdge:
+		if m.From < 0 || int(m.From) >= numNodes || m.To < 0 || int(m.To) >= numNodes {
+			return fmt.Errorf("store: %v references a node outside [0, %d)", m, numNodes)
+		}
+		return nil
+	case OpRemoveNode:
+		if m.From < 0 || int(m.From) >= numNodes {
+			return fmt.Errorf("store: %v references a node outside [0, %d)", m, numNodes)
+		}
+		return nil
+	}
+	return fmt.Errorf("store: unknown mutation op %d", m.Op)
+}

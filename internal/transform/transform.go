@@ -1,0 +1,251 @@
+// Package transform implements Lemma 4 of the paper: any QGP with ratio
+// aggregates can be rewritten, together with the graph, into an
+// equivalent QGP with numeric aggregates only. The construction pads
+// every relevant node's child set to a common degree d with dummy
+// children — non-matching dummies (a fresh label) to inflate the
+// denominator, and matching dummies (a copy of the pattern subtree under
+// the ratio edge) to align the numerator — after which σ(e) ≥ p% becomes
+// σ(e) ≥ p%·d.
+//
+// The implementation is exact on the fragment it accepts (see
+// CanTransform): positive tree-shaped patterns whose ratio aggregates use
+// ≥, are not nested under one another, and whose source nodes have no
+// other out-edge with the same label. This covers the star-like workloads
+// the paper targets; the construction itself is what the lemma's proof
+// sketches, with the floor/ceiling rounding made explicit.
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Result is the output of RatioToNumeric.
+type Result struct {
+	Pattern *core.Pattern // Qd: numeric aggregates only
+	Graph   *graph.Graph  // Gd: G plus dummy children
+	// OriginalNodes is the number of nodes of the input graph; nodes with
+	// id ≥ OriginalNodes are dummies.
+	OriginalNodes int
+}
+
+// dummyLabel is the non-matching label of denominator-padding dummies.
+const dummyLabel = "⊥dummy"
+
+// CanTransform reports whether the pattern is in the fragment Lemma 4's
+// construction handles exactly, with a reason when it is not.
+func CanTransform(q *core.Pattern) error {
+	if !q.IsPositive() {
+		return fmt.Errorf("transform: pattern has negated edges; transform Π(Q) and Π(Q+e) separately")
+	}
+	if len(q.Edges) != len(q.Nodes)-1 || !q.Connected() {
+		return fmt.Errorf("transform: pattern is not a tree")
+	}
+	for _, ei := range q.QuantifiedEdges() {
+		e := q.Edges[ei]
+		if e.Q.IsRatio() && e.Q.Op() != core.GE {
+			return fmt.Errorf("transform: ratio edge %d uses %v; only >= is supported", ei, e.Q.Op())
+		}
+	}
+	// Each ratio edge's label must be globally unique in the pattern:
+	// dummy edges carry that label, so a second pattern edge with it could
+	// map onto dummy structure and create spurious embeddings. For the
+	// same reason the focus must not lie under a ratio edge (its subtree
+	// is copied into the graph, and a copied focus could enter the
+	// answer), and ratio edges must not nest (padding below a ratio edge
+	// would perturb the outer count).
+	for _, ei := range ratioEdges(q) {
+		e := q.Edges[ei]
+		for j, other := range q.Edges {
+			if j != ei && other.Label == e.Label {
+				return fmt.Errorf("transform: ratio edge label %q is not unique in the pattern", e.Label)
+			}
+		}
+		below := subtreeNodes(q, e.From, e.To)
+		if below[q.Focus] {
+			return fmt.Errorf("transform: the focus lies under ratio edge %d", ei)
+		}
+		for _, ej := range ratioEdges(q) {
+			if ej == ei {
+				continue
+			}
+			if below[q.Edges[ej].From] {
+				return fmt.Errorf("transform: ratio edge %d is nested under ratio edge %d", ej, ei)
+			}
+		}
+	}
+	return nil
+}
+
+// RatioToNumeric applies the Lemma 4 construction. The result satisfies
+// QMatch(Qd, Gd) ∩ originals = QMatch(Q, G); see the package test for the
+// executable statement.
+func RatioToNumeric(q *core.Pattern, g *graph.Graph) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := CanTransform(q); err != nil {
+		return nil, err
+	}
+
+	gd := cloneGraph(g)
+	qd := clonePattern(q)
+
+	for _, ei := range ratioEdges(q) {
+		e := q.Edges[ei]
+		l := g.LookupLabel(e.Label)
+		if l == graph.NoLabel {
+			// Unmatchable edge: keep a numeric stand-in; answers stay empty.
+			qd.Edges[ei].Q = core.Count(core.GE, 1)
+			continue
+		}
+		bp := e.Q.BasisPoints()
+
+		// Common degree d: the max relevant child count, rounded up so
+		// that bp·d is a multiple of 10000 (T integral).
+		maxC := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			if c := g.CountOut(graph.NodeID(v), l); c > maxC {
+				maxC = c
+			}
+		}
+		step := 10000 / gcd(bp, 10000)
+		d := ((maxC + step - 1) / step) * step
+		if d == 0 {
+			d = step
+		}
+		threshold := bp * d / 10000
+		qd.Edges[ei].Q = core.Count(core.GE, threshold)
+
+		subtree := subtreeSpec(q, e.From, e.To)
+		for v := 0; v < g.NumNodes(); v++ {
+			c := g.CountOut(graph.NodeID(v), l)
+			if c == 0 {
+				continue // the edge cannot embed at v either way
+			}
+			// m matching dummies shift the numerator so that the numeric
+			// threshold at d children equals the ratio threshold at c.
+			need := (bp*c + 9999) / 10000 // ceil: the exact GE frontier
+			m := threshold - need
+			for k := 0; k < m; k++ {
+				attachSubtreeCopy(gd, graph.NodeID(v), e.Label, subtree)
+			}
+			for k := 0; k < d-c-m; k++ {
+				dummy := gd.AddNode(dummyLabel)
+				gd.AddEdge(graph.NodeID(v), dummy, e.Label)
+			}
+		}
+	}
+	gd.Finalize()
+	return &Result{Pattern: qd, Graph: gd, OriginalNodes: g.NumNodes()}, nil
+}
+
+// ratioEdges returns the indexes of ratio-quantified edges.
+func ratioEdges(q *core.Pattern) []int {
+	var out []int
+	for i, e := range q.Edges {
+		if e.Q.IsRatio() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// subtreeNodes returns the node set on the child side of tree edge
+// (from, to): nodes reachable from to without crossing back through from.
+func subtreeNodes(q *core.Pattern, from, to int) map[int]bool {
+	adj := make([][]int, len(q.Nodes))
+	for _, e := range q.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	seen := map[int]bool{from: true, to: true}
+	stack := []int{to}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	delete(seen, from)
+	return seen
+}
+
+// subtree is the pattern fragment hanging under a ratio edge, in a form
+// ready to copy into the graph.
+type subtree struct {
+	labels []string // node labels; index 0 is the ratio edge's target
+	edges  []subtreeEdge
+}
+
+type subtreeEdge struct {
+	from, to int
+	label    string
+}
+
+func subtreeSpec(q *core.Pattern, from, to int) subtree {
+	nodes := subtreeNodes(q, from, to)
+	index := map[int]int{to: 0}
+	st := subtree{labels: []string{q.Nodes[to].Label}}
+	for u := range nodes {
+		if u == to {
+			continue
+		}
+		index[u] = len(st.labels)
+		st.labels = append(st.labels, q.Nodes[u].Label)
+	}
+	for _, e := range q.Edges {
+		if nodes[e.From] && nodes[e.To] {
+			st.edges = append(st.edges, subtreeEdge{index[e.From], index[e.To], e.Label})
+		}
+	}
+	return st
+}
+
+// attachSubtreeCopy adds a fresh copy of the subtree as a child of v.
+func attachSubtreeCopy(g *graph.Graph, v graph.NodeID, edgeLabel string, st subtree) {
+	ids := make([]graph.NodeID, len(st.labels))
+	for i, l := range st.labels {
+		ids[i] = g.AddNode(l)
+	}
+	g.AddEdge(v, ids[0], edgeLabel)
+	for _, e := range st.edges {
+		g.AddEdge(ids[e.from], ids[e.to], e.label)
+	}
+}
+
+func cloneGraph(g *graph.Graph) *graph.Graph {
+	out := graph.New(g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		out.AddNode(g.NodeLabelName(graph.NodeID(v)))
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, e := range g.Out(graph.NodeID(v)) {
+			out.AddEdge(graph.NodeID(v), e.To, g.LabelName(e.Label))
+		}
+	}
+	return out
+}
+
+func clonePattern(q *core.Pattern) *core.Pattern {
+	out := core.NewPattern()
+	for _, n := range q.Nodes {
+		out.AddNode(n.Name, n.Label)
+	}
+	out.Focus = q.Focus
+	out.Edges = append([]core.PEdge(nil), q.Edges...)
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,218 @@
+package transform
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/match"
+)
+
+func TestCanTransform(t *testing.T) {
+	ok := core.NewPattern()
+	ok.AddNode("xo", "person")
+	ok.AddNode("z", "person")
+	ok.AddNode("y", "album")
+	ok.AddEdge("xo", "z", "follow", core.RatioPercent(core.GE, 80))
+	ok.AddEdge("z", "y", "like", core.Exists())
+	if err := CanTransform(ok); err != nil {
+		t.Errorf("valid pattern rejected: %v", err)
+	}
+
+	neg := core.NewPattern()
+	neg.AddNode("xo", "person")
+	neg.AddNode("z", "person")
+	neg.AddEdge("xo", "z", "follow", core.Negated())
+	if err := CanTransform(neg); err == nil {
+		t.Error("negated pattern accepted")
+	}
+
+	dupLabel := core.NewPattern()
+	dupLabel.AddNode("xo", "person")
+	dupLabel.AddNode("a", "person")
+	dupLabel.AddNode("b", "person")
+	dupLabel.AddEdge("xo", "a", "follow", core.RatioPercent(core.GE, 50))
+	dupLabel.AddEdge("a", "b", "follow", core.Exists())
+	if err := CanTransform(dupLabel); err == nil {
+		t.Error("duplicate ratio label accepted")
+	}
+
+	nested := core.NewPattern()
+	nested.AddNode("xo", "person")
+	nested.AddNode("a", "person")
+	nested.AddNode("b", "album")
+	nested.AddEdge("xo", "a", "follow", core.RatioPercent(core.GE, 50))
+	nested.AddEdge("a", "b", "like", core.RatioPercent(core.GE, 50))
+	if err := CanTransform(nested); err == nil {
+		t.Error("nested ratio edges accepted")
+	}
+
+	eqRatio := core.NewPattern()
+	eqRatio.AddNode("xo", "person")
+	eqRatio.AddNode("a", "person")
+	eqRatio.AddEdge("xo", "a", "follow", core.Universal())
+	if err := CanTransform(eqRatio); err == nil {
+		t.Error("EQ ratio accepted (only >= is in the fragment)")
+	}
+}
+
+func TestRatioToNumericHandWorked(t *testing.T) {
+	// Three people: 4/5, 3/5 and 2/3 of followees like the album. The
+	// ratio ≥ 66% keeps the first and third.
+	g := graph.New(24)
+	album := g.AddNode("album")
+	mk := func(total, likers int) graph.NodeID {
+		p := g.AddNode("person")
+		for i := 0; i < total; i++ {
+			z := g.AddNode("person")
+			g.AddEdge(p, z, "follow")
+			if i < likers {
+				g.AddEdge(z, album, "like")
+			}
+		}
+		return p
+	}
+	a := mk(5, 4)
+	b := mk(5, 3)
+	c := mk(3, 2)
+	g.Finalize()
+
+	q := core.NewPattern()
+	q.AddNode("xo", "person")
+	q.AddNode("z", "person")
+	q.AddNode("y", "album")
+	q.AddEdge("xo", "z", "follow", core.RatioPercent(core.GE, 66))
+	q.AddEdge("z", "y", "like", core.Exists())
+
+	orig, err := match.QMatch(g, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Matches, []graph.NodeID{a, c}) {
+		t.Fatalf("original answer = %v, want [%d %d] (b=%d excluded)", orig.Matches, a, c, b)
+	}
+
+	res, err := RatioToNumeric(q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pattern.QuantifiedEdges()) != 1 || res.Pattern.Edges[0].Q.IsRatio() {
+		t.Fatalf("transformed pattern still has ratios:\n%s", res.Pattern)
+	}
+	got, err := match.QMatch(res.Graph, res.Pattern, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onOriginals := filterOriginals(got.Matches, res.OriginalNodes)
+	if !reflect.DeepEqual(onOriginals, orig.Matches) {
+		t.Fatalf("Lemma 4 equality violated: transformed=%v original=%v", onOriginals, orig.Matches)
+	}
+}
+
+func filterOriginals(vs []graph.NodeID, n int) []graph.NodeID {
+	var out []graph.NodeID
+	for _, v := range vs {
+		if int(v) < n {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Property: Lemma 4 — Q(xo, G) = Qd(xo, Gd) on original nodes, over
+// random graphs and random transformable patterns.
+func TestQuickLemma4(t *testing.T) {
+	iters := 120
+	if testing.Short() {
+		iters = 25
+	}
+	for seed := 0; seed < iters; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		g := randomGraph(r)
+		q := randomTransformablePattern(r)
+		if CanTransform(q) != nil {
+			continue
+		}
+		orig, err := match.QMatch(g, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RatioToNumeric(q, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := match.QMatch(res.Graph, res.Pattern, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onOriginals := filterOriginals(got.Matches, res.OriginalNodes)
+		if len(onOriginals) == 0 && len(orig.Matches) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(onOriginals, orig.Matches) {
+			t.Fatalf("seed %d: transformed=%v original=%v\npattern:\n%s",
+				seed, onOriginals, orig.Matches, q)
+		}
+		// Dummies must never enter the answer (the focus is never under a
+		// ratio edge in the accepted fragment).
+		if len(onOriginals) != len(got.Matches) {
+			t.Fatalf("seed %d: dummy node in the answer: %v", seed, got.Matches)
+		}
+	}
+}
+
+func randomGraph(r *rand.Rand) *graph.Graph {
+	nodeLabels := []string{"a", "b", "c"}
+	edgeLabels := []string{"R", "S", "T"}
+	n := 4 + r.Intn(14)
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(nodeLabels[r.Intn(len(nodeLabels))])
+	}
+	m := r.Intn(4 * n)
+	for i := 0; i < m; i++ {
+		a, b := graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n))
+		if a != b {
+			g.AddEdge(a, b, edgeLabels[r.Intn(len(edgeLabels))])
+		}
+	}
+	g.Finalize()
+	return g
+}
+
+// randomTransformablePattern builds tree patterns with one or two GE-ratio
+// edges on the focus, each with a distinct edge label.
+func randomTransformablePattern(r *rand.Rand) *core.Pattern {
+	nodeLabels := []string{"a", "b", "c"}
+	edgeLabels := []string{"R", "S", "T"}
+	for {
+		p := core.NewPattern()
+		n := 2 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			p.AddNode(fmt.Sprintf("u%d", i), nodeLabels[r.Intn(len(nodeLabels))])
+		}
+		ratioLabel := edgeLabels[r.Intn(len(edgeLabels))]
+		for i := 1; i < n; i++ {
+			parent := r.Intn(i)
+			label := edgeLabels[r.Intn(len(edgeLabels))]
+			q := core.Exists()
+			if parent == 0 && i == 1 {
+				label = ratioLabel
+				q = core.Ratio(core.GE, 1+r.Intn(9999))
+			} else if label == ratioLabel {
+				continue // keep the ratio label unique
+			}
+			p.AddEdge(fmt.Sprintf("u%d", parent), fmt.Sprintf("u%d", i), label, q)
+		}
+		if len(p.Edges) != n-1 {
+			continue
+		}
+		if p.Validate() != nil || CanTransform(p) != nil {
+			continue
+		}
+		return p
+	}
+}
