@@ -1,0 +1,99 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/match"
+	"repro/internal/server"
+)
+
+// BenchmarkClusterMatch compares embedded coordinator/worker clusters of
+// 1, 2 and 4 workers against single-process match on a generated social
+// graph. Run with QGP_BENCH_RECORD=1 to refresh the BENCH_cluster.json
+// baseline:
+//
+//	QGP_BENCH_RECORD=1 go test -run '^$' -bench BenchmarkClusterMatch .
+//
+// On a single-CPU machine the wall-clock speedup is modest; the point of
+// the baseline is tracking the coordination overhead (cluster vs single)
+// across PRs, not proving parallel scalability — internal/bench's SimWork
+// experiments do that machine-independently.
+func BenchmarkClusterMatch(b *testing.B) {
+	const graphSize = 2000
+	g := gen.Social(gen.DefaultSocial(graphSize, 42))
+	pattern := "qgp\nn xo person *\nn z person\nn p product\ne xo z follow >=2\ne z p recom >=1\n"
+	q, err := core.Parse(pattern)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	record := map[string]interface{}{
+		"benchmark": "BenchmarkClusterMatch",
+		"graph":     fmt.Sprintf("social n=%d seed=42", graphSize),
+		"pattern":   pattern,
+	}
+
+	b.Run("single", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			res, err := match.QMatch(g, q, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = len(res.Matches)
+		}
+		record["single_ns_per_op"] = avgNs(b)
+		record["answers"] = n
+	})
+
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ts := cluster.InProcessN(workers, server.Config{})
+			defer cluster.CloseAll(ts)
+			c, err := cluster.New(g, ts, cluster.Config{D: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Match(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			record[fmt.Sprintf("cluster%d_ns_per_op", workers)] = avgNs(b)
+		})
+	}
+
+	if os.Getenv("QGP_BENCH_RECORD") != "" {
+		b.StopTimer()
+		f, err := os.Create("BENCH_cluster.json")
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(record); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote BENCH_cluster.json")
+	}
+}
+
+// avgNs reads the per-op time accumulated so far in a sub-benchmark. The
+// testing package only exposes elapsed time through b.Elapsed.
+func avgNs(b *testing.B) int64 {
+	if b.N == 0 {
+		return 0
+	}
+	return b.Elapsed().Nanoseconds() / int64(b.N)
+}

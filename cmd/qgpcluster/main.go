@@ -1,0 +1,109 @@
+// Command qgpcluster runs the coordinator of a quantified-matching
+// cluster and exposes it as a front-end server speaking the same
+// newline-delimited JSON protocol as qgpd, so existing clients work
+// unchanged. Workers are either stock qgpd processes reached over TCP
+// (-workers) or embedded in-process servers (-spawn); each front-end
+// connection is an independent cluster session.
+//
+// Distributed:
+//
+//	qgpd -addr :7700 &
+//	qgpd -addr :7701 &
+//	qgpcluster -addr :7688 -workers localhost:7700,localhost:7701
+//
+// Single machine (embedded workers):
+//
+//	qgpcluster -addr :7688 -spawn 4
+//
+// Try it with netcat:
+//
+//	printf '{"id":1,"cmd":"gen","kind":"social","size":1000}\n{"id":2,"cmd":"match","pattern":"qgp\nn xo person *\nn z person\ne xo z follow >=3\n"}\n' | nc localhost 7688
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7688", "front-end listen address")
+	workers := flag.String("workers", "", "comma-separated qgpd worker addresses (empty: use -spawn)")
+	spawn := flag.Int("spawn", 2, "number of embedded in-process workers when -workers is empty")
+	d := flag.Int("d", 2, "hop radius preserved by the fragmentation (patterns needing more are rejected)")
+	engine := flag.String("engine", "qmatch", "per-worker matching engine: qmatch | qmatchn | enum")
+	budget := flag.Int64("budget", 0, "extension budget forwarded to workers (0 = worker default)")
+	maxGraph := flag.Int("max-graph", 50_000_000, "maximum session graph size (|V|+|E|)")
+	idle := flag.Duration("idle-timeout", 5*time.Minute, "close idle front-end connections after this long")
+	flag.Parse()
+
+	clusterCfg := cluster.Config{D: *d, Engine: *engine, Budget: *budget}
+	var newWorkers func() ([]cluster.Transport, error)
+	if *workers != "" {
+		addrs := strings.Split(*workers, ",")
+		newWorkers = func() ([]cluster.Transport, error) {
+			ts := make([]cluster.Transport, 0, len(addrs))
+			for _, a := range addrs {
+				t, err := cluster.Dial(strings.TrimSpace(a))
+				if err != nil {
+					cluster.CloseAll(ts)
+					return nil, fmt.Errorf("worker %s: %w", a, err)
+				}
+				ts = append(ts, t)
+			}
+			return ts, nil
+		}
+		log.Printf("qgpcluster: using %d TCP workers: %s", len(addrs), *workers)
+	} else {
+		if *spawn < 1 {
+			log.Fatalf("qgpcluster: -spawn must be at least 1")
+		}
+		n := *spawn
+		newWorkers = func() ([]cluster.Transport, error) {
+			// Embedded workers idle as long as the front-end session
+			// lives; don't let the worker-side idle timeout cut them off.
+			return cluster.InProcessN(n, server.Config{IdleTimeout: 24 * time.Hour}), nil
+		}
+		log.Printf("qgpcluster: spawning %d embedded workers per session", n)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("qgpcluster: %v", err)
+	}
+	fe := cluster.NewFrontend(cluster.FrontendConfig{
+		Cluster:      clusterCfg,
+		NewWorkers:   newWorkers,
+		MaxGraphSize: *maxGraph,
+		IdleTimeout:  *idle,
+	})
+	log.Printf("qgpcluster: listening on %s (d=%d)", ln.Addr(), *d)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- fe.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		log.Printf("qgpcluster: %v, shutting down", sig)
+	case err := <-errc:
+		log.Printf("qgpcluster: serve: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := fe.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "qgpcluster: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}

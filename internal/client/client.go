@@ -154,6 +154,24 @@ func (c *Client) UpdateWithDeltas(updates ...server.UpdateSpec) (*server.Respons
 	return c.Do(&server.Request{Cmd: "update", Updates: updates})
 }
 
+// Fragment loads a d-hop-preserving fragment into the session, turning it
+// into a cluster worker: data is the fragment subgraph in the graph text
+// format (local node ids) and owned lists the local ids of the focus
+// candidates this worker answers for. See internal/cluster.
+func (c *Client) Fragment(data string, owned []int64) (nodes, edges int, err error) {
+	resp, err := c.Do(&server.Request{Cmd: "fragment", Data: data, Owned: owned})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Nodes, resp.Edges, nil
+}
+
+// Assign adds nodes (local ids) to a fragment session's owned set and
+// returns the per-watch answer deltas the new candidates contribute.
+func (c *Client) Assign(owned []int64) (*server.Response, error) {
+	return c.Do(&server.Request{Cmd: "assign", Owned: owned})
+}
+
 // MatchOptions tunes a Match call.
 type MatchOptions struct {
 	Engine  string // qmatch (default) | qmatchn | enum

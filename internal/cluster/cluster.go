@@ -1,0 +1,222 @@
+// Package cluster implements the paper's coordinator/worker architecture
+// (§5) as a real multi-node subsystem: a Coordinator fragments a graph
+// with the d-hop-preserving partition of internal/partition, ships each
+// fragment to a worker over the qgpd wire protocol, fans quantified
+// matches out to the workers, and routes update batches to only the
+// workers whose fragments contain affected nodes, where
+// internal/dynamic.Matcher maintains standing answers incrementally.
+//
+// Workers are stock qgpd processes: the fragment and assign protocol
+// commands (see internal/server) turn an ordinary session into a fragment
+// holder. The Transport interface abstracts how a worker is reached — Dial
+// for a TCP worker, InProcess for an embedded one — so the same cluster
+// runs across machines or inside a single test binary.
+//
+// Correctness rests on Lemma 9(1): whether a node answers a pattern Q
+// depends only on the subgraph induced by its d-hop neighborhood, where
+// d = parallel.RequiredHops(Q). Each worker owns a set of focus
+// candidates whose full d-hop neighborhoods are materialized locally, so
+// fragment-local evaluation restricted to owned nodes is exact and the
+// coordinator's merge is a disjoint union.
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/server"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// D is the hop radius the fragmentation preserves (default 2).
+	// Patterns with RequiredHops > D are rejected: fragment-local
+	// evaluation would silently lose answers.
+	D int
+	// BalanceC is the fragment capacity multiplier of partition.Config.
+	BalanceC float64
+	// Engine is the per-worker matching engine ("qmatch", "qmatchn",
+	// "enum"; empty means qmatch).
+	Engine string
+	// Budget is the extension budget forwarded with every worker match
+	// request (0 uses each worker's default).
+	Budget int64
+}
+
+// Coordinator is the paper's Sc: it holds the authoritative global graph,
+// knows which worker owns and materializes which nodes, and drives the
+// workers through the wire protocol. Methods are safe for concurrent use;
+// requests to distinct workers run in parallel.
+type Coordinator struct {
+	mu      sync.Mutex
+	cfg     Config
+	g       *graph.Graph // authoritative global graph (edge-set normalized)
+	workers []*worker
+	watches map[string]bool
+	// failed is set when a worker failed mid-update, leaving fragments
+	// possibly inconsistent; every later request is refused.
+	failed error
+}
+
+// worker is the coordinator's book-keeping for one fragment holder. The
+// invariant between updates: the worker's session graph equals the
+// subgraph of c.g induced by nodes, with local ids toGlobal[local].
+type worker struct {
+	id       int
+	t        Transport
+	nodes    map[graph.NodeID]bool         // materialized global nodes
+	owned    map[graph.NodeID]bool         // owned global nodes (answer set, disjoint across workers)
+	toLocal  map[graph.NodeID]graph.NodeID // global → local id
+	toGlobal []graph.NodeID                // local id → global
+}
+
+// New fragments g across the given worker transports (one fragment per
+// transport) and ships each fragment with the fragment command. The input
+// graph is normalized to edge-set semantics (duplicate parallel edges
+// collapse), matching what dynamic.Apply does on every update; Graph
+// returns the normalized version.
+func New(g *graph.Graph, ts []Transport, cfg Config) (*Coordinator, error) {
+	if len(ts) == 0 {
+		return nil, errors.New("cluster: need at least one worker transport")
+	}
+	if cfg.D <= 0 {
+		cfg.D = 2
+	}
+	g, _, err := dynamic.Apply(g, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: normalize: %w", err)
+	}
+	p, err := partition.DPar(g, partition.Config{Workers: len(ts), D: cfg.D, BalanceC: cfg.BalanceC})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	c := &Coordinator{cfg: cfg, g: g, watches: make(map[string]bool)}
+	c.workers = make([]*worker, len(ts))
+	for i, f := range p.Fragments {
+		w := &worker{
+			id:      i,
+			t:       ts[i],
+			nodes:   make(map[graph.NodeID]bool, len(f.Nodes)),
+			owned:   make(map[graph.NodeID]bool, len(f.Owned)),
+			toLocal: make(map[graph.NodeID]graph.NodeID, len(f.Nodes)),
+		}
+		for _, v := range f.Nodes {
+			w.nodes[v] = true
+		}
+		c.workers[i] = w
+	}
+	// Ownership bookkeeping comes from the partition's routing-table view;
+	// OwnerMap also guarantees each node has exactly one owner.
+	for v, wid := range p.OwnerMap() {
+		if wid < 0 {
+			return nil, fmt.Errorf("cluster: node %d has no owning fragment", v)
+		}
+		c.workers[wid].owned[graph.NodeID(v)] = true
+	}
+	err = c.fanOut(func(w *worker) error {
+		f := p.Fragments[w.id]
+		sub, toGlobal := g.Induced(f.Nodes)
+		w.toGlobal = toGlobal
+		for local, global := range toGlobal {
+			w.toLocal[global] = graph.NodeID(local)
+		}
+		ownedLocal := make([]int64, len(f.Owned))
+		for j, v := range f.Owned {
+			ownedLocal[j] = int64(w.toLocal[v])
+		}
+		var buf bytes.Buffer
+		if _, err := sub.WriteTo(&buf); err != nil {
+			return fmt.Errorf("cluster: worker %d: serialize fragment: %w", w.id, err)
+		}
+		if _, err := w.t.Do(&server.Request{Cmd: "fragment", Data: buf.String(), Owned: ownedLocal}); err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Graph returns the coordinator's authoritative global graph.
+func (c *Coordinator) Graph() *graph.Graph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.g
+}
+
+// D returns the hop radius the fragmentation preserves.
+func (c *Coordinator) D() int { return c.cfg.D }
+
+// Workers returns the number of workers.
+func (c *Coordinator) Workers() int { return len(c.workers) }
+
+// FragmentSizes returns each worker's materialized node count.
+func (c *Coordinator) FragmentSizes() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sizes := make([]int, len(c.workers))
+	for i, w := range c.workers {
+		sizes[i] = len(w.nodes)
+	}
+	return sizes
+}
+
+// fanOut runs fn once per worker concurrently and returns the first error
+// (by worker id) if any failed.
+func (c *Coordinator) fanOut(fn func(w *worker) error) error {
+	errs := make([]error, len(c.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w *worker) {
+			defer wg.Done()
+			errs[i] = fn(w)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// global maps a worker-local node id from a wire response back to the
+// global id space.
+func (w *worker) global(local int64) (graph.NodeID, error) {
+	if local < 0 || int(local) >= len(w.toGlobal) {
+		return 0, fmt.Errorf("cluster: worker %d returned local node %d outside [0, %d)", w.id, local, len(w.toGlobal))
+	}
+	return w.toGlobal[local], nil
+}
+
+// mergeGlobal converts a worker's local answer ids and folds them into a
+// global set.
+func (w *worker) mergeGlobal(locals []int64, into map[graph.NodeID]bool) error {
+	for _, v := range locals {
+		g, err := w.global(v)
+		if err != nil {
+			return err
+		}
+		into[g] = true
+	}
+	return nil
+}
+
+func sortedSet(m map[graph.NodeID]bool) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

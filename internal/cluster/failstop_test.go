@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+// flakyTransport wraps a real in-process worker but fails every command
+// named in failOn, simulating a worker dying mid-operation.
+type flakyTransport struct {
+	Transport
+	failOn string
+}
+
+func (f *flakyTransport) Do(req *server.Request) (*server.Response, error) {
+	if req.Cmd == f.failOn {
+		return nil, errors.New("injected transport failure")
+	}
+	return f.Transport.Do(req)
+}
+
+// TestFailStop: a worker failure during Watch, Unwatch or Update marks
+// the coordinator failed, and every later request is refused instead of
+// answered from possibly inconsistent fragments.
+func TestFailStop(t *testing.T) {
+	for _, failOn := range []string{"watch", "unwatch", "update"} {
+		failOn := failOn
+		t.Run(failOn, func(t *testing.T) {
+			g := gen.Social(gen.DefaultSocial(100, 1))
+			healthy := InProcess(server.Config{})
+			flaky := &flakyTransport{Transport: InProcess(server.Config{}), failOn: failOn}
+			ts := []Transport{healthy, flaky}
+			t.Cleanup(func() { CloseAll(ts) })
+			c, err := New(g, ts, Config{D: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := mustParse(t, testPatterns[0])
+
+			var opErr error
+			switch failOn {
+			case "watch":
+				_, opErr = c.Watch("w", q)
+			case "unwatch":
+				if _, err := c.Watch("w", q); err != nil {
+					t.Fatal(err)
+				}
+				opErr = c.Unwatch("w")
+			case "update":
+				// Touch both fragments so the flaky worker is contacted.
+				_, opErr = c.Update([]server.UpdateSpec{
+					{Op: "addNode", Label: "person"},
+					{Op: "addNode", Label: "person"},
+				})
+			}
+			if opErr == nil {
+				t.Fatalf("%s with a failing worker succeeded", failOn)
+			}
+			if _, err := c.Match(q); err == nil || !strings.Contains(err.Error(), "failed earlier") {
+				t.Fatalf("Match after failed %s: err = %v, want fail-stop refusal", failOn, err)
+			}
+		})
+	}
+}
+
+// TestFrontendFailedRebuild: when re-fragmentation fails partway, the
+// front-end session refuses queries instead of serving answers through
+// the stale coordinator's tables.
+func TestFrontendFailedRebuild(t *testing.T) {
+	var flaky *flakyTransport
+	fe := NewFrontend(FrontendConfig{
+		Cluster: Config{D: 2},
+		NewWorkers: func() ([]Transport, error) {
+			flaky = &flakyTransport{Transport: InProcess(server.Config{})}
+			return []Transport{InProcess(server.Config{}), flaky}, nil
+		},
+		Logf: func(string, ...interface{}) {},
+	})
+	sess := &feSession{}
+	defer sess.close()
+
+	resp := fe.handle(sess, &server.Request{Cmd: "gen", Kind: "social", Size: 100, Seed: 1})
+	if resp.Error != "" {
+		t.Fatalf("gen: %s", resp.Error)
+	}
+	// Second gen fails mid-fragmentation: one worker re-fragmented, one
+	// dead.
+	flaky.failOn = "fragment"
+	resp = fe.handle(sess, &server.Request{Cmd: "gen", Kind: "social", Size: 120, Seed: 2})
+	if resp.Error == "" {
+		t.Fatal("gen with a dying worker succeeded")
+	}
+	resp = fe.handle(sess, &server.Request{Cmd: "match", Pattern: testPatterns[0]})
+	if resp.Error == "" {
+		t.Fatal("match served through a stale coordinator after failed re-fragmentation")
+	}
+	// A successful gen recovers the session.
+	flaky.failOn = ""
+	resp = fe.handle(sess, &server.Request{Cmd: "gen", Kind: "social", Size: 100, Seed: 1})
+	if resp.Error != "" {
+		t.Fatalf("recovery gen: %s", resp.Error)
+	}
+	resp = fe.handle(sess, &server.Request{Cmd: "match", Pattern: testPatterns[0]})
+	if resp.Error != "" {
+		t.Fatalf("match after recovery: %s", resp.Error)
+	}
+}

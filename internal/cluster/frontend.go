@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// FrontendConfig tunes a Frontend.
+type FrontendConfig struct {
+	// Cluster is the coordinator configuration applied to every session.
+	Cluster Config
+	// NewWorkers supplies a fresh set of worker transports for a session's
+	// coordinator (each front-end connection is an independent cluster
+	// session, mirroring qgpd's session-per-connection model). Required.
+	NewWorkers func() ([]Transport, error)
+	// MaxLineBytes bounds one request line (default 64 MiB).
+	MaxLineBytes int
+	// MaxGraphSize bounds |V|+|E| of gen/load graphs (default 50M).
+	MaxGraphSize int
+	// IdleTimeout closes connections with no request for this long
+	// (default 5 minutes).
+	IdleTimeout time.Duration
+	// Logf receives diagnostics; nil means log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+func (c *FrontendConfig) fill() {
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 64 << 20
+	}
+	if c.MaxGraphSize <= 0 {
+		c.MaxGraphSize = 50_000_000
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// Frontend exposes a Coordinator through the qgpd wire protocol, so any
+// existing client (internal/client, netcat, the examples) can talk to a
+// cluster exactly as it talks to a single server. Commands gen, load,
+// match, update, watch, unwatch, stats, partition and ping are served;
+// commands that only make sense against a local graph (pmatch, rule,
+// rpqfilter) report an error naming the limitation.
+type Frontend struct {
+	cfg FrontendConfig
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]bool
+	shutdown bool
+	wg       sync.WaitGroup
+}
+
+// NewFrontend returns a front-end server for cluster sessions.
+func NewFrontend(cfg FrontendConfig) *Frontend {
+	cfg.fill()
+	return &Frontend{cfg: cfg, conns: make(map[net.Conn]bool)}
+}
+
+// Serve accepts connections until Shutdown. It always returns a non-nil
+// error; after Shutdown the error is net.ErrClosed.
+func (f *Frontend) Serve(ln net.Listener) error {
+	f.mu.Lock()
+	if f.shutdown {
+		f.mu.Unlock()
+		return net.ErrClosed
+	}
+	f.ln = ln
+	f.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		f.mu.Lock()
+		if f.shutdown {
+			f.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		f.conns[conn] = true
+		f.wg.Add(1)
+		f.mu.Unlock()
+		go func() {
+			defer f.wg.Done()
+			f.ServeConn(conn)
+			f.mu.Lock()
+			delete(f.conns, conn)
+			f.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown stops accepting, closes the listener and all connections, and
+// waits for in-flight handlers (or the context).
+func (f *Frontend) Shutdown(ctx context.Context) error {
+	f.mu.Lock()
+	f.shutdown = true
+	if f.ln != nil {
+		f.ln.Close()
+	}
+	for c := range f.conns {
+		c.Close()
+	}
+	f.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		f.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// feSession is one front-end connection's state: worker transports are
+// dialed lazily on the first gen/load and reused when the session replaces
+// its graph (the fragment command resets each worker session).
+type feSession struct {
+	ts    []Transport
+	coord *Coordinator
+	st    *stats.Stats
+}
+
+func (sess *feSession) close() {
+	if sess.ts != nil {
+		CloseAll(sess.ts)
+	}
+}
+
+// ServeConn serves the protocol on one established connection and blocks
+// until it closes. The request loop itself is the server package's
+// ServeProtocol, so framing cannot diverge between qgpd and qgpcluster.
+func (f *Frontend) ServeConn(conn net.Conn) {
+	sess := &feSession{}
+	defer sess.close()
+	server.ServeProtocol(conn, server.ProtocolConfig{
+		MaxLineBytes: f.cfg.MaxLineBytes,
+		IdleTimeout:  f.cfg.IdleTimeout,
+		Logf:         f.cfg.Logf,
+		Name:         "cluster frontend",
+	}, func(req *server.Request) server.Response { return f.handle(sess, req) })
+}
+
+func (f *Frontend) handle(sess *feSession, req *server.Request) server.Response {
+	start := time.Now()
+	var resp server.Response
+	var err error
+	switch req.Cmd {
+	case "ping":
+		resp.Pong = true
+	case "gen", "load":
+		err = f.handleGraph(sess, req, &resp)
+	case "match":
+		err = f.handleMatch(sess, req, &resp)
+	case "update":
+		err = f.handleUpdate(sess, req, &resp)
+	case "watch":
+		err = f.handleWatch(sess, req, &resp)
+	case "unwatch":
+		err = f.handleUnwatch(sess, req, &resp)
+	case "stats":
+		err = f.handleStats(sess, req, &resp)
+	case "partition":
+		err = f.handlePartition(sess, req, &resp)
+	case "pmatch", "rule", "rpqfilter", "fragment", "assign":
+		err = fmt.Errorf("command %q is not served by the cluster front end; connect to a worker qgpd for it", req.Cmd)
+	default:
+		err = fmt.Errorf("unknown command %q", req.Cmd)
+	}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return resp
+}
+
+var errNoCluster = errors.New("no graph loaded: run gen or load first")
+
+// setGraph builds (or rebuilds) the session's coordinator over g, dialing
+// the worker set on first use.
+func (f *Frontend) setGraph(sess *feSession, g *graph.Graph) error {
+	if g.Size() > f.cfg.MaxGraphSize {
+		return fmt.Errorf("graph size %d exceeds front-end cap %d", g.Size(), f.cfg.MaxGraphSize)
+	}
+	if sess.ts == nil {
+		ts, err := f.cfg.NewWorkers()
+		if err != nil {
+			return fmt.Errorf("workers: %w", err)
+		}
+		if len(ts) == 0 {
+			return errors.New("workers: NewWorkers returned an empty set")
+		}
+		sess.ts = ts
+	}
+	coord, err := New(g, sess.ts, f.cfg.Cluster)
+	if err != nil {
+		// A failed re-fragmentation may have already replaced some
+		// workers' sessions; the old coordinator's bookkeeping no longer
+		// describes them. Refuse queries until a gen/load succeeds rather
+		// than serve answers mapped through stale tables.
+		sess.coord = nil
+		return err
+	}
+	sess.coord = coord
+	sess.st = nil
+	return nil
+}
+
+// handleGraph serves gen and load: the graph construction is shared with
+// the single server (server.BuildGraph), so the two vocabularies cannot
+// diverge.
+func (f *Frontend) handleGraph(sess *feSession, req *server.Request, resp *server.Response) error {
+	g, err := server.BuildGraph(req)
+	if err != nil {
+		return err
+	}
+	if err := f.setGraph(sess, g); err != nil {
+		return err
+	}
+	g = sess.coord.Graph() // normalized version
+	resp.Nodes, resp.Edges = g.NumNodes(), g.NumEdges()
+	return nil
+}
+
+func (f *Frontend) handleMatch(sess *feSession, req *server.Request, resp *server.Response) error {
+	if sess.coord == nil {
+		return errNoCluster
+	}
+	q, err := core.Parse(req.Pattern)
+	if err != nil {
+		return err
+	}
+	res, err := sess.coord.MatchWith(q, &MatchOptions{
+		Engine:  req.Engine,
+		Budget:  req.Budget,
+		Planner: req.Planner,
+	})
+	if err != nil {
+		return err
+	}
+	server.FillMatches(resp, res.Matches, req.Limit)
+	resp.Metrics = &res.Metrics
+	return nil
+}
+
+func (f *Frontend) handleUpdate(sess *feSession, req *server.Request, resp *server.Response) error {
+	if sess.coord == nil {
+		return errNoCluster
+	}
+	res, err := sess.coord.Update(req.Updates)
+	if err != nil {
+		return err
+	}
+	sess.st = nil
+	resp.Nodes, resp.Edges = res.Nodes, res.Edges
+	resp.Deltas = res.Deltas
+	return nil
+}
+
+func (f *Frontend) handleWatch(sess *feSession, req *server.Request, resp *server.Response) error {
+	if sess.coord == nil {
+		return errNoCluster
+	}
+	q, err := core.Parse(req.Pattern)
+	if err != nil {
+		return err
+	}
+	answers, err := sess.coord.Watch(req.Watch, q)
+	if err != nil {
+		return err
+	}
+	server.FillMatches(resp, answers, req.Limit)
+	return nil
+}
+
+func (f *Frontend) handleUnwatch(sess *feSession, req *server.Request, resp *server.Response) error {
+	if sess.coord == nil {
+		return errNoCluster
+	}
+	return sess.coord.Unwatch(req.Watch)
+}
+
+func (f *Frontend) handleStats(sess *feSession, req *server.Request, resp *server.Response) error {
+	if sess.coord == nil {
+		return errNoCluster
+	}
+	g := sess.coord.Graph()
+	if sess.st == nil {
+		sess.st = stats.Collect(g)
+	}
+	st := sess.st
+	resp.Nodes, resp.Edges = st.Nodes, st.Edges
+	resp.Labels = len(st.LabelCount)
+	k := req.TopK
+	if k <= 0 {
+		k = 10
+	}
+	for _, t := range st.TopTriples(k) {
+		resp.Triples = append(resp.Triples, st.Describe(g, t))
+	}
+	return nil
+}
+
+func (f *Frontend) handlePartition(sess *feSession, req *server.Request, resp *server.Response) error {
+	if sess.coord == nil {
+		return errNoCluster
+	}
+	sizes := sess.coord.FragmentSizes()
+	min, max := -1, 0
+	for _, s := range sizes {
+		resp.Fragments = append(resp.Fragments, s)
+		if s > max {
+			max = s
+		}
+		if min < 0 || s < min {
+			min = s
+		}
+	}
+	if max > 0 {
+		resp.Skew = float64(min) / float64(max)
+	}
+	return nil
+}

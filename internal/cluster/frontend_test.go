@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+func startFrontend(t *testing.T, workers int) *client.Client {
+	t.Helper()
+	fe := NewFrontend(FrontendConfig{
+		Cluster: Config{D: 2},
+		NewWorkers: func() ([]Transport, error) {
+			return InProcessN(workers, server.Config{}), nil
+		},
+		Logf: func(string, ...interface{}) {},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fe.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		fe.Shutdown(ctx)
+	})
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestFrontendEndToEnd drives a 2-worker cluster through the front-end
+// wire protocol with the stock client: gen → watch → update → match, plus
+// stats and partition introspection.
+func TestFrontendEndToEnd(t *testing.T) {
+	c := startFrontend(t, 2)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	nodes, edges, err := c.Gen("social", 200, 9)
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if nodes == 0 || edges == 0 {
+		t.Fatalf("gen returned %d nodes / %d edges", nodes, edges)
+	}
+
+	pattern := "qgp\nn xo person *\nn z person\ne xo z follow >=3\n"
+	wresp, err := c.Watch("w", pattern)
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+
+	mresp, err := c.Match(pattern, nil)
+	if err != nil {
+		t.Fatalf("match: %v", err)
+	}
+	if !reflect.DeepEqual(mresp.Matches, wresp.Matches) {
+		t.Fatalf("match answers %v != watch initial answers %v", mresp.Matches, wresp.Matches)
+	}
+
+	// Per-request engine selection is forwarded to the workers: the enum
+	// baseline must agree, and a bogus engine must be rejected.
+	eresp, err := c.Match(pattern, &client.MatchOptions{Engine: "enum"})
+	if err != nil {
+		t.Fatalf("match engine=enum: %v", err)
+	}
+	if !reflect.DeepEqual(eresp.Matches, mresp.Matches) {
+		t.Fatalf("enum answers %v != qmatch answers %v", eresp.Matches, mresp.Matches)
+	}
+	if _, err := c.Match(pattern, &client.MatchOptions{Engine: "bogus"}); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+
+	uresp, err := c.UpdateWithDeltas(
+		server.UpdateSpec{Op: "removeNode", From: mresp.Matches[0]},
+	)
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	var found bool
+	for _, d := range uresp.Deltas {
+		if d.Watch != "w" {
+			continue
+		}
+		for _, v := range d.Removed {
+			if v == mresp.Matches[0] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("removing answer node %d did not surface in deltas: %+v", mresp.Matches[0], uresp.Deltas)
+	}
+
+	sresp, err := c.Stats(5)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if sresp.Nodes != uresp.Nodes {
+		t.Fatalf("stats nodes %d != post-update nodes %d", sresp.Nodes, uresp.Nodes)
+	}
+
+	presp, err := c.Partition(0, 0)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	if len(presp.Fragments) != 2 {
+		t.Fatalf("partition fragments = %v, want 2 entries", presp.Fragments)
+	}
+
+	// Unsupported commands fail loudly instead of answering wrong.
+	if _, err := c.PMatch(pattern, 2, 2); err == nil {
+		t.Fatal("pmatch should not be served by the front end")
+	}
+	// The connection stays usable after a command error.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after error: %v", err)
+	}
+}
+
+// TestFrontendNoGraph: querying before gen/load is a clean error.
+func TestFrontendNoGraph(t *testing.T) {
+	c := startFrontend(t, 2)
+	if _, err := c.Match("qgp\nn xo person *\n", nil); err == nil {
+		t.Fatal("match before gen succeeded")
+	}
+}

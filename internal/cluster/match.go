@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/parallel"
+	"repro/internal/server"
+)
+
+// MatchResult is a merged cluster-wide answer set.
+type MatchResult struct {
+	// Matches is the global focus-node answer set, sorted ascending. It
+	// equals the single-process answer set: ownership is a partition of
+	// the nodes and fragment-local evaluation is exact for owned nodes.
+	Matches []graph.NodeID
+	// Metrics aggregates the per-worker engine metrics.
+	Metrics match.Metrics
+	// PerWorker is each worker's contributed answer count.
+	PerWorker []int
+}
+
+// MatchOptions tunes one Match call; zero values fall back to the
+// coordinator's Config.
+type MatchOptions struct {
+	Engine  string // per-worker engine: qmatch | qmatchn | enum
+	Budget  int64  // extension budget forwarded to workers
+	Planner bool   // let each worker plan its matching order from fragment stats
+}
+
+// Match evaluates a quantified pattern across the cluster: the pattern is
+// fanned out to every worker, each evaluates it over its fragment
+// restricted to its owned focus candidates, and the coordinator merges the
+// disjoint partial answers. ClusterMatch of the ISSUE's API naming.
+func (c *Coordinator) Match(q *core.Pattern) (*MatchResult, error) {
+	return c.MatchWith(q, nil)
+}
+
+// MatchWith is Match with per-call options.
+func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (*MatchResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if need := parallel.RequiredHops(q); need > c.cfg.D {
+		return nil, fmt.Errorf("cluster: pattern needs %d-hop preservation but the fragmentation has d=%d", need, c.cfg.D)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		return nil, fmt.Errorf("cluster: coordinator failed earlier: %w", c.failed)
+	}
+
+	engine, budget, planner := c.cfg.Engine, c.cfg.Budget, false
+	if opts != nil {
+		if opts.Engine != "" {
+			engine = opts.Engine
+		}
+		if opts.Budget > 0 {
+			budget = opts.Budget
+		}
+		planner = opts.Planner
+	}
+	pattern := q.String()
+	responses := make([]*server.Response, len(c.workers))
+	err := c.fanOut(func(w *worker) error {
+		resp, err := w.t.Do(&server.Request{
+			Cmd:     "match",
+			Pattern: pattern,
+			Engine:  engine,
+			Budget:  budget,
+			Planner: planner,
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+		}
+		responses[w.id] = resp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &MatchResult{PerWorker: make([]int, len(c.workers))}
+	merged := make(map[graph.NodeID]bool)
+	for i, resp := range responses {
+		out.PerWorker[i] = len(resp.Matches)
+		if err := c.workers[i].mergeGlobal(resp.Matches, merged); err != nil {
+			return nil, err
+		}
+		if resp.Metrics != nil {
+			out.Metrics.Add(*resp.Metrics)
+		}
+	}
+	out.Matches = sortedSet(merged)
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"net"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// Transport is one worker endpoint speaking the qgpd wire protocol. A
+// *client.Client satisfies it, so any reachable qgpd process can be a
+// worker; InProcess provides the embedded equivalent for tests and
+// single-machine deployments.
+type Transport interface {
+	Do(req *server.Request) (*server.Response, error)
+	Close() error
+}
+
+// Dial connects to a stock qgpd process that will act as a worker. Each
+// call opens a fresh connection, i.e. a fresh worker session.
+func Dial(addr string) (Transport, error) {
+	return client.Dial(addr)
+}
+
+// InProcess starts an embedded worker: a server.Server speaking the real
+// wire protocol over a net.Pipe, so the embedded cluster exercises exactly
+// the code paths of a distributed one. Server diagnostics are silenced
+// unless cfg.Logf is set (a closing pipe is routine here, not noteworthy).
+func InProcess(cfg server.Config) Transport {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	srv := server.New(cfg)
+	clientEnd, serverEnd := net.Pipe()
+	go srv.ServeConn(serverEnd)
+	return client.NewClient(clientEnd)
+}
+
+// InProcessN starts n embedded workers with a shared configuration.
+func InProcessN(n int, cfg server.Config) []Transport {
+	ts := make([]Transport, n)
+	for i := range ts {
+		ts[i] = InProcess(cfg)
+	}
+	return ts
+}
+
+// CloseAll closes every transport, returning the first error.
+func CloseAll(ts []Transport) error {
+	var first error
+	for _, t := range ts {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// UpdateResult reports one cluster-wide update batch.
+type UpdateResult struct {
+	// Nodes and Edges are the global graph's counts after the batch.
+	Nodes, Edges int
+	// Deltas are the merged per-watch answer changes, in global node ids,
+	// one entry per standing watch that changed or was re-verified
+	// anywhere. Affected sums the workers' re-verified candidate counts;
+	// it can be smaller than the single-process count because a worker
+	// skips candidates whose materialized neighborhood provably did not
+	// change.
+	Deltas []server.WatchDelta
+	// Contacted lists the workers (ascending id) that received traffic:
+	// exactly those whose fragments contain affected nodes or were
+	// assigned a node the batch created. The others were not spoken to —
+	// the paper's "coordinator Sc assigns the changes to each fragment"
+	// routing (§5.2).
+	Contacted []int
+}
+
+// workerPlan is the update traffic computed for one worker: the local
+// mutation batch keeping its fragment mirror equal to the induced subgraph
+// of the new global graph, the globals it newly materializes (local ids
+// follow its current id space, in order), and the new nodes it will own.
+type workerPlan struct {
+	w      *worker
+	batch  []server.UpdateSpec
+	newMat []graph.NodeID
+	assign []graph.NodeID
+}
+
+// Update applies a global mutation batch: the coordinator applies it to
+// its authoritative graph, computes the affected region (every node within
+// the fragmentation radius of a touched node, in the old or new graph),
+// and routes a translated local batch to only the workers whose fragments
+// intersect that region. Each such worker's fragment is first expanded so
+// every affected owned candidate keeps its full d-hop neighborhood
+// materialized, then its standing watches re-verify incrementally; nodes
+// the batch creates are assigned to the least-loaded worker. ClusterUpdate
+// of the ISSUE's API naming.
+//
+// A transport or worker failure mid-batch leaves the cluster partially
+// updated; the coordinator then marks itself failed and refuses further
+// requests rather than serving inconsistent answers.
+func (c *Coordinator) Update(specs []server.UpdateSpec) (*UpdateResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: update: empty batch")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		return nil, fmt.Errorf("cluster: coordinator failed earlier: %w", c.failed)
+	}
+	ups, err := server.ToUpdates(specs)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	oldG := c.g
+	newG, touched, err := dynamic.Apply(oldG, ups)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	affected := dynamic.AffectedWithin(oldG, newG, touched, c.cfg.D)
+
+	// Assign each node the batch created to the worker owning the fewest.
+	assignTo := make(map[graph.NodeID]int)
+	ownedCount := make([]int, len(c.workers))
+	for i, w := range c.workers {
+		ownedCount[i] = len(w.owned)
+	}
+	for v := oldG.NumNodes(); v < newG.NumNodes(); v++ {
+		best := 0
+		for i := 1; i < len(ownedCount); i++ {
+			if ownedCount[i] < ownedCount[best] {
+				best = i
+			}
+		}
+		assignTo[graph.NodeID(v)] = best
+		ownedCount[best]++
+	}
+
+	plans := make([]*workerPlan, len(c.workers))
+	for i, w := range c.workers {
+		plans[i] = c.planFor(w, oldG, newG, touched, affected, assignTo)
+	}
+
+	// Execute the non-empty plans, one goroutine per worker. Each plan
+	// touches only its own worker's state.
+	updDeltas := make([][]server.WatchDelta, len(c.workers))
+	asgDeltas := make([][]server.WatchDelta, len(c.workers))
+	err = c.fanOut(func(w *worker) error {
+		p := plans[w.id]
+		if p == nil {
+			return nil
+		}
+		// Extend the id mapping first: response deltas use post-batch
+		// local ids.
+		for _, gv := range p.newMat {
+			w.toLocal[gv] = graph.NodeID(len(w.toGlobal))
+			w.toGlobal = append(w.toGlobal, gv)
+			w.nodes[gv] = true
+		}
+		if len(p.batch) > 0 {
+			resp, err := w.t.Do(&server.Request{Cmd: "update", Updates: p.batch})
+			if err != nil {
+				return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+			}
+			updDeltas[w.id] = resp.Deltas
+		}
+		if len(p.assign) > 0 {
+			locals := make([]int64, len(p.assign))
+			for i, gv := range p.assign {
+				locals[i] = int64(w.toLocal[gv])
+			}
+			resp, err := w.t.Do(&server.Request{Cmd: "assign", Owned: locals})
+			if err != nil {
+				return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+			}
+			asgDeltas[w.id] = resp.Deltas
+			for _, gv := range p.assign {
+				w.owned[gv] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		c.failed = err
+		return nil, err
+	}
+	c.g = newG
+
+	out := &UpdateResult{Nodes: newG.NumNodes(), Edges: newG.NumEdges()}
+	for i, p := range plans {
+		if p != nil {
+			out.Contacted = append(out.Contacted, i)
+		}
+	}
+	merged, err := c.mergeDeltas(updDeltas, asgDeltas)
+	if err != nil {
+		c.failed = err
+		return nil, err
+	}
+	out.Deltas = merged
+	return out, nil
+}
+
+// planFor computes one worker's share of a global batch, or nil when the
+// batch cannot affect the worker: no touched node is materialized there,
+// no owned candidate is in the affected region, and no new node is being
+// assigned to it.
+func (c *Coordinator) planFor(w *worker, oldG, newG *graph.Graph, touched, affected []graph.NodeID, assignTo map[graph.NodeID]int) *workerPlan {
+	oldN := oldG.NumNodes()
+	var roots []graph.NodeID // owned candidates whose d-hop neighborhood must stay materialized
+	for _, v := range affected {
+		if w.owned[v] {
+			roots = append(roots, v)
+		}
+	}
+	touchedMat := false
+	for _, v := range touched {
+		if w.nodes[v] {
+			touchedMat = true
+			break
+		}
+	}
+	var assign []graph.NodeID
+	for v := oldN; v < newG.NumNodes(); v++ {
+		if assignTo[graph.NodeID(v)] == w.id {
+			assign = append(assign, graph.NodeID(v))
+		}
+	}
+	if !touchedMat && len(roots) == 0 && len(assign) == 0 {
+		return nil
+	}
+
+	// Expansion: materialize the new-graph d-hop neighborhood of every
+	// affected owned candidate and of every newly assigned node (Lemma
+	// 9(1) needs the full neighborhood for fragment-local exactness).
+	needed := make(map[graph.NodeID]bool)
+	for _, root := range append(append([]graph.NodeID(nil), roots...), assign...) {
+		for _, u := range newG.Neighborhood(root, c.cfg.D) {
+			if !w.nodes[u] {
+				needed[u] = true
+			}
+		}
+	}
+	newMat := sortedSet(needed)
+
+	localOf := func(gv graph.NodeID) graph.NodeID {
+		if lv, ok := w.toLocal[gv]; ok {
+			return lv
+		}
+		// Newly materialized: its local id follows the current space in
+		// newMat order; binary search for its index.
+		i := sort.Search(len(newMat), func(i int) bool { return newMat[i] >= gv })
+		return graph.NodeID(len(w.toGlobal) + i)
+	}
+
+	batch := make([]server.UpdateSpec, 0, len(newMat))
+	for _, gv := range newMat {
+		batch = append(batch, server.UpdateSpec{Op: "addNode", Label: newG.NodeLabelName(gv)})
+	}
+
+	// Edge diff between the old and new induced subgraphs. Only edges
+	// incident to a touched or newly materialized node can differ, so the
+	// candidate set is collected from those nodes' adjacency in both graph
+	// versions rather than by rescanning the fragment.
+	type ekey struct {
+		from, to graph.NodeID
+		label    string
+	}
+	matOld := func(v graph.NodeID) bool { return w.nodes[v] }
+	matNew := func(v graph.NodeID) bool { return w.nodes[v] || needed[v] }
+	candidates := make(map[ekey]bool)
+	collectOld := func(v graph.NodeID) {
+		if int(v) >= oldN || !matOld(v) {
+			return
+		}
+		for _, e := range oldG.Out(v) {
+			if matOld(e.To) {
+				candidates[ekey{v, e.To, oldG.LabelName(e.Label)}] = true
+			}
+		}
+		for _, e := range oldG.In(v) {
+			if matOld(e.To) {
+				candidates[ekey{e.To, v, oldG.LabelName(e.Label)}] = true
+			}
+		}
+	}
+	collectNew := func(v graph.NodeID) {
+		if !matNew(v) {
+			return
+		}
+		for _, e := range newG.Out(v) {
+			if matNew(e.To) {
+				candidates[ekey{v, e.To, newG.LabelName(e.Label)}] = true
+			}
+		}
+		for _, e := range newG.In(v) {
+			if matNew(e.To) {
+				candidates[ekey{e.To, v, newG.LabelName(e.Label)}] = true
+			}
+		}
+	}
+	for _, v := range touched {
+		collectOld(v)
+		collectNew(v)
+	}
+	for _, v := range newMat {
+		collectNew(v)
+	}
+
+	keys := make([]ekey, 0, len(candidates))
+	for k := range candidates {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		return a.label < b.label
+	})
+	for _, k := range keys {
+		oldHas := matOld(k.from) && matOld(k.to) && hasEdge(oldG, k.from, k.to, k.label)
+		newHas := matNew(k.from) && matNew(k.to) && hasEdge(newG, k.from, k.to, k.label)
+		if oldHas == newHas {
+			continue
+		}
+		op := "addEdge"
+		if oldHas {
+			op = "removeEdge"
+		}
+		batch = append(batch, server.UpdateSpec{
+			Op:    op,
+			From:  int64(localOf(k.from)),
+			To:    int64(localOf(k.to)),
+			Label: k.label,
+		})
+	}
+	return &workerPlan{w: w, batch: batch, newMat: newMat, assign: assign}
+}
+
+func hasEdge(g *graph.Graph, from, to graph.NodeID, label string) bool {
+	l := g.LookupLabel(label)
+	if l == graph.NoLabel {
+		return false
+	}
+	return g.HasEdge(from, to, l)
+}
+
+// mergeDeltas folds the workers' local watch deltas into global per-watch
+// deltas: added/removed sets are disjoint unions (ownership partitions the
+// nodes), affected counts sum.
+func (c *Coordinator) mergeDeltas(deltaSets ...[][]server.WatchDelta) ([]server.WatchDelta, error) {
+	type acc struct {
+		added, removed map[graph.NodeID]bool
+		affected       int
+	}
+	byWatch := make(map[string]*acc)
+	for _, set := range deltaSets {
+		for wid, deltas := range set {
+			w := c.workers[wid]
+			for _, d := range deltas {
+				a := byWatch[d.Watch]
+				if a == nil {
+					a = &acc{added: make(map[graph.NodeID]bool), removed: make(map[graph.NodeID]bool)}
+					byWatch[d.Watch] = a
+				}
+				a.affected += d.Affected
+				if err := w.mergeGlobal(d.Added, a.added); err != nil {
+					return nil, err
+				}
+				if err := w.mergeGlobal(d.Removed, a.removed); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(byWatch))
+	for name := range byWatch {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]server.WatchDelta, 0, len(names))
+	for _, name := range names {
+		a := byWatch[name]
+		wd := server.WatchDelta{Watch: name, Affected: a.affected}
+		for _, v := range sortedSet(a.added) {
+			wd.Added = append(wd.Added, int64(v))
+		}
+		for _, v := range sortedSet(a.removed) {
+			wd.Removed = append(wd.Removed, int64(v))
+		}
+		out = append(out, wd)
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/server"
+)
+
+// Watch registers a standing pattern on every worker under the given name
+// and returns the merged initial answer set; every later Update reports
+// the watch's merged answer delta. ClusterWatch of the ISSUE's API naming.
+//
+// Each worker maintains the answers of its owned focus candidates with a
+// restricted dynamic.Matcher, so maintenance work is sharded the same way
+// matching is.
+func (c *Coordinator) Watch(name string, q *core.Pattern) ([]graph.NodeID, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cluster: watch: empty name")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if need := parallel.RequiredHops(q); need > c.cfg.D {
+		return nil, fmt.Errorf("cluster: pattern needs %d-hop preservation but the fragmentation has d=%d", need, c.cfg.D)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		return nil, fmt.Errorf("cluster: coordinator failed earlier: %w", c.failed)
+	}
+	if c.watches[name] {
+		return nil, fmt.Errorf("cluster: watch %q already registered", name)
+	}
+	// Mirror the workers' per-session cap (server.go) before fanning out:
+	// hitting it on the workers would look like a partial failure and
+	// needlessly fail-stop the cluster.
+	if len(c.watches) >= 16 {
+		return nil, fmt.Errorf("cluster: session limit of 16 standing patterns reached")
+	}
+
+	pattern := q.String()
+	merged := make(map[graph.NodeID]bool)
+	responses := make([]*server.Response, len(c.workers))
+	err := c.fanOut(func(w *worker) error {
+		resp, err := w.t.Do(&server.Request{Cmd: "watch", Watch: name, Pattern: pattern})
+		if err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+		}
+		responses[w.id] = resp
+		return nil
+	})
+	if err != nil {
+		// Some workers may now hold the watch while others don't; deltas
+		// from the orphans would leak into later updates. Fail-stop, as
+		// Update does.
+		c.failed = err
+		return nil, err
+	}
+	for i, resp := range responses {
+		if err := c.workers[i].mergeGlobal(resp.Matches, merged); err != nil {
+			c.failed = err
+			return nil, err
+		}
+	}
+	c.watches[name] = true
+	return sortedSet(merged), nil
+}
+
+// Unwatch removes a standing pattern from every worker.
+func (c *Coordinator) Unwatch(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		return fmt.Errorf("cluster: coordinator failed earlier: %w", c.failed)
+	}
+	if !c.watches[name] {
+		return fmt.Errorf("cluster: no watch named %q", name)
+	}
+	err := c.fanOut(func(w *worker) error {
+		if _, err := w.t.Do(&server.Request{Cmd: "unwatch", Watch: name}); err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+		}
+		return nil
+	})
+	if err != nil {
+		// Partial removal: some workers still hold the watch. Fail-stop.
+		c.failed = err
+		return err
+	}
+	delete(c.watches, name)
+	return nil
+}
+
+// Watches returns the registered watch names, sorted.
+func (c *Coordinator) Watches() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.watches))
+	for name := range c.watches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

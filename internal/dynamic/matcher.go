@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/core"
@@ -18,6 +19,10 @@ type Matcher struct {
 	hops int
 	g    *graph.Graph
 	ans  map[graph.NodeID]bool
+	// restrict, when non-nil, limits the maintained answer set to these
+	// focus candidates (a cluster worker answers only for the nodes it
+	// owns); nil means every node is a candidate.
+	restrict map[graph.NodeID]bool
 
 	// Verified counts the focus candidates re-verified by Apply calls —
 	// the measurable saving over full recomputation.
@@ -35,18 +40,83 @@ type Delta struct {
 
 // NewMatcher evaluates q over g once and caches the answers.
 func NewMatcher(g *graph.Graph, q *core.Pattern) (*Matcher, error) {
+	return newMatcher(g, q, nil)
+}
+
+// NewMatcherRestricted is NewMatcher limited to the given focus
+// candidates: only their membership is evaluated and maintained. A cluster
+// worker uses this to answer exactly for the fragment nodes it owns —
+// non-owned nodes of a d-hop-preserving fragment may lack part of their
+// neighborhood, so their local answers would be wrong anyway.
+func NewMatcherRestricted(g *graph.Graph, q *core.Pattern, focus []graph.NodeID) (*Matcher, error) {
+	restrict := make(map[graph.NodeID]bool, len(focus))
+	for _, v := range focus {
+		restrict[v] = true
+	}
+	return newMatcher(g, q, restrict)
+}
+
+func newMatcher(g *graph.Graph, q *core.Pattern, restrict map[graph.NodeID]bool) (*Matcher, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := match.QMatch(g, q, nil)
+	m := &Matcher{q: q, hops: parallel.RequiredHops(q), g: g, restrict: restrict, ans: make(map[graph.NodeID]bool)}
+	if restrict != nil && len(restrict) == 0 {
+		// No candidates yet (a fragment owning nothing); AddFocus extends.
+		// Options.FocusRestrict cannot express this: an empty list there
+		// means unrestricted.
+		return m, nil
+	}
+	var opts *match.Options
+	if restrict != nil {
+		opts = &match.Options{FocusRestrict: sortedNodeSet(restrict)}
+	}
+	res, err := match.QMatch(g, q, opts)
 	if err != nil {
 		return nil, err
 	}
-	m := &Matcher{q: q, hops: parallel.RequiredHops(q), g: g, ans: make(map[graph.NodeID]bool, len(res.Matches))}
 	for _, v := range res.Matches {
 		m.ans[v] = true
 	}
 	return m, nil
+}
+
+// AddFocus extends a restricted matcher's candidate set (the coordinator
+// assigns a newly created node to this worker) and returns the answer
+// delta contributed by the new candidates. Calling it on an unrestricted
+// matcher is an error: every node is already a candidate.
+func (m *Matcher) AddFocus(vs []graph.NodeID) (Delta, error) {
+	if m.restrict == nil {
+		return Delta{}, fmt.Errorf("dynamic: AddFocus on an unrestricted matcher")
+	}
+	fresh := make([]graph.NodeID, 0, len(vs))
+	for _, v := range vs {
+		if v < 0 || int(v) >= m.g.NumNodes() {
+			return Delta{}, fmt.Errorf("dynamic: AddFocus node %d outside [0, %d)", v, m.g.NumNodes())
+		}
+		if !m.restrict[v] {
+			m.restrict[v] = true
+			fresh = append(fresh, v)
+		}
+	}
+	var d Delta
+	if len(fresh) == 0 {
+		return d, nil
+	}
+	d.Affected = len(fresh)
+	m.Verified += len(fresh)
+	res, err := match.QMatch(m.g, m.q, &match.Options{FocusRestrict: fresh})
+	if err != nil {
+		return Delta{}, err
+	}
+	for _, v := range res.Matches {
+		if !m.ans[v] {
+			m.ans[v] = true
+			d.Added = append(d.Added, v)
+		}
+	}
+	sortNodeIDs(d.Added)
+	return d, nil
 }
 
 // Graph returns the matcher's current graph version.
@@ -75,6 +145,15 @@ func (m *Matcher) Apply(ups []Update) (Delta, error) {
 		return Delta{}, err
 	}
 	affected := AffectedWithin(m.g, newG, touched, m.hops)
+	if m.restrict != nil {
+		kept := affected[:0]
+		for _, v := range affected {
+			if m.restrict[v] {
+				kept = append(kept, v)
+			}
+		}
+		affected = kept
+	}
 
 	var d Delta
 	d.Affected = len(affected)
@@ -101,5 +180,20 @@ func (m *Matcher) Apply(ups []Update) (Delta, error) {
 		}
 	}
 	m.g = newG
+	sortNodeIDs(d.Added)
+	sortNodeIDs(d.Removed)
 	return d, nil
+}
+
+func sortNodeIDs(vs []graph.NodeID) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+}
+
+func sortedNodeSet(m map[graph.NodeID]bool) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sortNodeIDs(out)
+	return out
 }

@@ -45,6 +45,21 @@ func (e Engine) String() string {
 	}
 }
 
+// ParseEngine maps the wire-protocol engine names ("qmatch", "qmatchn",
+// "enum"; empty means qmatch) to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "qmatch", "":
+		return EngineQMatch, nil
+	case "qmatchn":
+		return EngineQMatchN, nil
+	case "enum":
+		return EngineEnum, nil
+	default:
+		return 0, fmt.Errorf("parallel: unknown engine %q", s)
+	}
+}
+
 // Cluster is a partitioned graph with per-fragment subgraphs materialized,
 // ready to evaluate any pattern whose RequiredHops is within the
 // partition's d. Build it once with NewCluster; it is safe for concurrent

@@ -1,0 +1,38 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestOwnerMap: every node maps to exactly the worker whose fragment owns
+// it, and no node is unowned.
+func TestOwnerMap(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(200, 2))
+	p, err := DPar(g, Config{Workers: 3, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := p.OwnerMap()
+	if len(owner) != g.NumNodes() {
+		t.Fatalf("owner map covers %d nodes, graph has %d", len(owner), g.NumNodes())
+	}
+	owned := 0
+	for _, f := range p.Fragments {
+		for _, v := range f.Owned {
+			if owner[v] != f.Worker {
+				t.Fatalf("node %d: owner map says %d, fragment says %d", v, owner[v], f.Worker)
+			}
+			owned++
+		}
+	}
+	if owned != g.NumNodes() {
+		t.Fatalf("fragments own %d nodes, graph has %d", owned, g.NumNodes())
+	}
+	for v, w := range owner {
+		if w < 0 {
+			t.Fatalf("node %d unowned", v)
+		}
+	}
+}

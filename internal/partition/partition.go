@@ -168,6 +168,23 @@ func DPar(g *graph.Graph, cfg Config) (*Partition, error) {
 	return p, nil
 }
 
+// OwnerMap returns node → owning worker for every graph node (-1 for a
+// node no fragment owns, which Validate rejects) — the routing-table view
+// of the partition for callers that look up owners by node rather than
+// iterating fragments.
+func (p *Partition) OwnerMap() []int {
+	owner := make([]int, p.G.NumNodes())
+	for i := range owner {
+		owner[i] = -1
+	}
+	for _, f := range p.Fragments {
+		for _, v := range f.Owned {
+			owner[v] = f.Worker
+		}
+	}
+	return owner
+}
+
 // Skew returns min fragment size / max fragment size in (0, 1]; the paper
 // reports ≥ 0.8 at n = 8. Empty fragments yield 0.
 func (p *Partition) Skew() float64 {

@@ -1,0 +1,101 @@
+package server_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// fragGraph is a small fragment in the text format: persons 0..3 where 0
+// and 1 follow enough people to match, but only 0 and 2 are owned by this
+// worker.
+const fragGraph = `graph 5
+n 0 person
+n 1 person
+n 2 person
+n 3 person
+n 4 person
+e 0 1 follow
+e 0 2 follow
+e 1 0 follow
+e 1 3 follow
+e 3 4 follow
+`
+
+const fragPattern = "qgp\nn xo person *\nn z person\ne xo z follow >=2\n"
+
+// TestFragmentRestrictsAnswers: after fragment, match and watch answer
+// only for the owned focus candidates.
+func TestFragmentRestrictsAnswers(t *testing.T) {
+	c, _ := startServer(t, server.Config{})
+	nodes, edges, err := c.Fragment(fragGraph, []int64{0, 2})
+	if err != nil {
+		t.Fatalf("fragment: %v", err)
+	}
+	if nodes != 5 || edges != 5 {
+		t.Fatalf("fragment loaded %d/%d, want 5/5", nodes, edges)
+	}
+	// Unrestricted, both 0 and 1 match; this session owns only 0 and 2.
+	resp, err := c.Match(fragPattern, nil)
+	if err != nil {
+		t.Fatalf("match: %v", err)
+	}
+	if !reflect.DeepEqual(resp.Matches, []int64{0}) {
+		t.Fatalf("fragment match = %v, want [0]", resp.Matches)
+	}
+	wresp, err := c.Watch("w", fragPattern)
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if !reflect.DeepEqual(wresp.Matches, []int64{0}) {
+		t.Fatalf("fragment watch answers = %v, want [0]", wresp.Matches)
+	}
+
+	// Assigning node 1 surfaces its answer as a watch delta.
+	aresp, err := c.Assign([]int64{1})
+	if err != nil {
+		t.Fatalf("assign: %v", err)
+	}
+	if len(aresp.Deltas) != 1 || !reflect.DeepEqual(aresp.Deltas[0].Added, []int64{1}) {
+		t.Fatalf("assign deltas = %+v, want watch w +[1]", aresp.Deltas)
+	}
+	resp, err = c.Match(fragPattern, nil)
+	if err != nil {
+		t.Fatalf("match after assign: %v", err)
+	}
+	if !reflect.DeepEqual(resp.Matches, []int64{0, 1}) {
+		t.Fatalf("match after assign = %v, want [0 1]", resp.Matches)
+	}
+
+	// Updates maintain the restricted watch: removing 0's second follow
+	// edge drops its answer, and non-owned candidates stay silent.
+	uresp, err := c.UpdateWithDeltas(server.UpdateSpec{Op: "removeEdge", From: 0, To: 2, Label: "follow"})
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if len(uresp.Deltas) != 1 || !reflect.DeepEqual(uresp.Deltas[0].Removed, []int64{0}) {
+		t.Fatalf("update deltas = %+v, want watch w -[0]", uresp.Deltas)
+	}
+}
+
+// TestFragmentValidation: bad owned ids and assign-without-fragment fail.
+func TestFragmentValidation(t *testing.T) {
+	c, _ := startServer(t, server.Config{})
+	if _, err := c.Assign([]int64{0}); err == nil {
+		t.Fatal("assign without fragment succeeded")
+	}
+	if _, _, err := c.Fragment(fragGraph, []int64{99}); err == nil {
+		t.Fatal("fragment accepted an out-of-range owned id")
+	}
+	// A fresh gen clears fragment mode: match is unrestricted again.
+	if _, _, err := c.Fragment(fragGraph, []int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Gen("social", 50, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Assign([]int64{0}); err == nil {
+		t.Fatal("assign after gen should fail: session is no longer a fragment")
+	}
+}

@@ -1,7 +1,11 @@
 package server
 
 import (
+	"fmt"
+
+	"repro/internal/dynamic"
 	"repro/internal/match"
+	"repro/internal/store"
 )
 
 // The wire protocol is newline-delimited JSON over TCP: one Request per
@@ -24,6 +28,11 @@ import (
 //	rule      — evaluate a QGAR (support, confidence, matches)
 //	rpqfilter — evaluate a QGP, then filter by a quantified path constraint
 //	partition — build a partition and report balance
+//	fragment  — load a d-hop-preserving fragment (subgraph + owned nodes):
+//	            the session becomes a cluster worker; match and watch then
+//	            answer only for the owned focus candidates
+//	assign    — extend a fragment session's owned set (the coordinator
+//	            assigns newly created nodes to this worker)
 //
 // The session graph persists across requests on the same connection.
 
@@ -69,6 +78,11 @@ type Request struct {
 	// watch / unwatch: the watch's name (Pattern carries the QGP for
 	// watch).
 	Watch string `json:"watch,omitempty"`
+
+	// fragment / assign: the owned focus candidates, as node ids local to
+	// the fragment subgraph carried in Data. For fragment this is the full
+	// owned set; for assign it is the nodes to add to it.
+	Owned []int64 `json:"owned,omitempty"`
 }
 
 // UpdateSpec is one graph mutation in the wire format of the update
@@ -79,6 +93,27 @@ type UpdateSpec struct {
 	From  int64  `json:"from,omitempty"`
 	To    int64  `json:"to,omitempty"`
 	Label string `json:"label,omitempty"`
+}
+
+// ToUpdates converts wire-format update specs to the store's mutation
+// vocabulary; handleUpdate and the cluster coordinator share this mapping.
+func ToUpdates(specs []UpdateSpec) ([]dynamic.Update, error) {
+	ups := make([]dynamic.Update, len(specs))
+	for i, u := range specs {
+		switch u.Op {
+		case "addNode":
+			ups[i] = store.AddNode(u.Label)
+		case "addEdge":
+			ups[i] = store.AddEdge(int32(u.From), int32(u.To), u.Label)
+		case "removeEdge":
+			ups[i] = store.RemoveEdge(int32(u.From), int32(u.To), u.Label)
+		case "removeNode":
+			ups[i] = store.RemoveNode(int32(u.From))
+		default:
+			return nil, fmt.Errorf("update %d: unknown op %q", i, u.Op)
+		}
+	}
+	return ups, nil
 }
 
 // Response is one server reply.

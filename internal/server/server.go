@@ -32,7 +32,6 @@ import (
 	"repro/internal/rpq"
 	"repro/internal/rules"
 	"repro/internal/stats"
-	"repro/internal/store"
 )
 
 // Config tunes a server.
@@ -163,16 +162,25 @@ type session struct {
 	g       *graph.Graph
 	st      *stats.Stats // lazily computed, reset on graph change
 	watches map[string]*dynamic.Matcher
+	// owned, when non-nil, marks the session as a cluster worker holding a
+	// d-hop-preserving fragment: these are the focus candidates (local
+	// ids) the worker owns and answers for. match restricts evaluation to
+	// them and watch maintains only their membership; non-owned fragment
+	// nodes may lack part of their neighborhood, so their local answers
+	// would be wrong.
+	owned []graph.NodeID
 }
 
-// setGraph replaces the session graph wholesale (gen/load); standing
-// watches are dropped because their cached answers refer to the old
-// graph's node ids. Incremental changes go through handleUpdate, which
-// maintains the watches instead.
+// setGraph replaces the session graph wholesale (gen/load/fragment);
+// standing watches are dropped because their cached answers refer to the
+// old graph's node ids, and fragment ownership is dropped because it names
+// the old graph's nodes. Incremental changes go through handleUpdate,
+// which maintains the watches instead.
 func (sess *session) setGraph(g *graph.Graph) {
 	sess.g = g
 	sess.st = nil
 	sess.watches = nil
+	sess.owned = nil
 }
 
 func (sess *session) stats() *stats.Stats {
@@ -182,19 +190,49 @@ func (sess *session) stats() *stats.Stats {
 	return sess.st
 }
 
+// ServeConn serves the protocol on one established connection and blocks
+// until it closes. It lets a server be embedded without a listener — the
+// cluster's in-process transport pairs it with net.Pipe. Connections
+// served this way are not tracked by Shutdown; close them directly.
+func (s *Server) ServeConn(conn net.Conn) { s.serveConn(conn) }
+
 func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
 	sess := &session{}
+	ServeProtocol(conn, ProtocolConfig{
+		MaxLineBytes: s.cfg.MaxLineBytes,
+		IdleTimeout:  s.cfg.IdleTimeout,
+		Logf:         s.cfg.Logf,
+		Name:         "server",
+	}, func(req *Request) Response { return s.handle(sess, req) })
+}
+
+// ProtocolConfig tunes ServeProtocol.
+type ProtocolConfig struct {
+	MaxLineBytes int
+	IdleTimeout  time.Duration
+	Logf         func(format string, args ...interface{})
+	// Name prefixes log lines ("server", "cluster frontend", ...).
+	Name string
+}
+
+// ServeProtocol runs the newline-delimited JSON request loop on one
+// connection, dispatching each decoded request to handle and writing its
+// response with the ID/OK/Error envelope filled in. It closes conn and
+// returns when the peer disconnects, a line exceeds MaxLineBytes, or the
+// connection idles out. The server and the cluster front end share this
+// loop, so protocol framing cannot diverge between them.
+func ServeProtocol(conn net.Conn, cfg ProtocolConfig, handle func(*Request) Response) {
+	defer conn.Close()
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64<<10), s.cfg.MaxLineBytes)
+	sc.Buffer(make([]byte, 64<<10), cfg.MaxLineBytes)
 	out := bufio.NewWriter(conn)
 	enc := json.NewEncoder(out)
 
 	for {
-		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		conn.SetReadDeadline(time.Now().Add(cfg.IdleTimeout))
 		if !sc.Scan() {
 			if err := sc.Err(); err != nil && !errors.Is(err, net.ErrClosed) {
-				s.cfg.Logf("server: %v: read: %v", conn.RemoteAddr(), err)
+				cfg.Logf("%s: %v: read: %v", cfg.Name, conn.RemoteAddr(), err)
 			}
 			return
 		}
@@ -207,12 +245,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp.Error = fmt.Sprintf("bad request: %v", err)
 		} else {
-			resp = s.handle(sess, &req)
+			resp = handle(&req)
 		}
 		resp.ID = req.ID
 		resp.OK = resp.Error == ""
 		if err := enc.Encode(&resp); err != nil {
-			s.cfg.Logf("server: %v: write: %v", conn.RemoteAddr(), err)
+			cfg.Logf("%s: %v: write: %v", cfg.Name, conn.RemoteAddr(), err)
 			return
 		}
 		if err := out.Flush(); err != nil {
@@ -232,10 +270,8 @@ func (s *Server) handle(sess *session, req *Request) Response {
 	switch req.Cmd {
 	case "ping":
 		resp.Pong = true
-	case "gen":
-		err = s.handleGen(sess, req, &resp)
-	case "load":
-		err = s.handleLoad(sess, req, &resp)
+	case "gen", "load":
+		err = s.handleGraph(sess, req, &resp)
 	case "update":
 		err = s.handleUpdate(sess, req, &resp)
 	case "watch":
@@ -254,6 +290,10 @@ func (s *Server) handle(sess *session, req *Request) Response {
 		err = s.handleRPQFilter(sess, req, &resp)
 	case "partition":
 		err = s.handlePartition(sess, req, &resp)
+	case "fragment":
+		err = s.handleFragment(sess, req, &resp)
+	case "assign":
+		err = s.handleAssign(sess, req, &resp)
 	default:
 		err = fmt.Errorf("unknown command %q", req.Cmd)
 	}
@@ -264,47 +304,48 @@ func (s *Server) handle(sess *session, req *Request) Response {
 	return resp
 }
 
-func (s *Server) handleGen(sess *session, req *Request, resp *Response) error {
-	size := req.Size
-	if size <= 0 {
-		size = 1000
-	}
-	var g *graph.Graph
-	switch req.Kind {
-	case "social", "":
-		g = gen.Social(gen.DefaultSocial(size, req.Seed))
-	case "knowledge":
-		g = gen.Knowledge(gen.DefaultKnowledge(size, req.Seed))
-	case "smallworld":
-		g = gen.SmallWorld(gen.SmallWorldConfig{Nodes: size, Edges: 2 * size, Labels: 30, Seed: req.Seed})
+// BuildGraph constructs the graph a gen or load request describes
+// (dispatching on req.Cmd); the server and the cluster front end share
+// this so their gen/load vocabularies cannot diverge.
+func BuildGraph(req *Request) (*graph.Graph, error) {
+	switch req.Cmd {
+	case "gen":
+		size := req.Size
+		if size <= 0 {
+			size = 1000
+		}
+		switch req.Kind {
+		case "social", "":
+			return gen.Social(gen.DefaultSocial(size, req.Seed)), nil
+		case "knowledge":
+			return gen.Knowledge(gen.DefaultKnowledge(size, req.Seed)), nil
+		case "smallworld":
+			return gen.SmallWorld(gen.SmallWorldConfig{Nodes: size, Edges: 2 * size, Labels: 30, Seed: req.Seed}), nil
+		default:
+			return nil, fmt.Errorf("unknown graph kind %q", req.Kind)
+		}
+	case "load":
+		switch req.Format {
+		case "text", "":
+			return graph.Read(strings.NewReader(req.Data))
+		case "json":
+			res, err := load.JSON(strings.NewReader(req.Data))
+			if err != nil {
+				return nil, err
+			}
+			return res.Graph, nil
+		default:
+			return nil, fmt.Errorf("unknown load format %q", req.Format)
+		}
 	default:
-		return fmt.Errorf("unknown graph kind %q", req.Kind)
+		return nil, fmt.Errorf("BuildGraph: not a gen or load request: %q", req.Cmd)
 	}
-	if g.Size() > s.cfg.MaxGraphSize {
-		return fmt.Errorf("generated graph size %d exceeds server cap %d", g.Size(), s.cfg.MaxGraphSize)
-	}
-	sess.setGraph(g)
-	resp.Nodes, resp.Edges = g.NumNodes(), g.NumEdges()
-	return nil
 }
 
-func (s *Server) handleLoad(sess *session, req *Request, resp *Response) error {
-	var g *graph.Graph
-	switch req.Format {
-	case "text", "":
-		parsed, err := graph.Read(strings.NewReader(req.Data))
-		if err != nil {
-			return err
-		}
-		g = parsed
-	case "json":
-		res, err := load.JSON(strings.NewReader(req.Data))
-		if err != nil {
-			return err
-		}
-		g = res.Graph
-	default:
-		return fmt.Errorf("unknown load format %q", req.Format)
+func (s *Server) handleGraph(sess *session, req *Request, resp *Response) error {
+	g, err := BuildGraph(req)
+	if err != nil {
+		return err
 	}
 	if g.Size() > s.cfg.MaxGraphSize {
 		return fmt.Errorf("graph size %d exceeds server cap %d", g.Size(), s.cfg.MaxGraphSize)
@@ -325,20 +366,9 @@ func (s *Server) handleUpdate(sess *session, req *Request, resp *Response) error
 	if len(req.Updates) == 0 {
 		return fmt.Errorf("update: empty batch")
 	}
-	ups := make([]dynamic.Update, len(req.Updates))
-	for i, u := range req.Updates {
-		switch u.Op {
-		case "addNode":
-			ups[i] = store.AddNode(u.Label)
-		case "addEdge":
-			ups[i] = store.AddEdge(int32(u.From), int32(u.To), u.Label)
-		case "removeEdge":
-			ups[i] = store.RemoveEdge(int32(u.From), int32(u.To), u.Label)
-		case "removeNode":
-			ups[i] = store.RemoveNode(int32(u.From))
-		default:
-			return fmt.Errorf("update %d: unknown op %q", i, u.Op)
-		}
+	ups, err := ToUpdates(req.Updates)
+	if err != nil {
+		return err
 	}
 	ng, _, err := dynamic.Apply(sess.g, ups)
 	if err != nil {
@@ -394,7 +424,12 @@ func (s *Server) handleWatch(sess *session, req *Request, resp *Response) error 
 	if err != nil {
 		return err
 	}
-	m, err := dynamic.NewMatcher(sess.g, q)
+	var m *dynamic.Matcher
+	if sess.owned != nil {
+		m, err = dynamic.NewMatcherRestricted(sess.g, q, sess.owned)
+	} else {
+		m, err = dynamic.NewMatcher(sess.g, q)
+	}
 	if err != nil {
 		return err
 	}
@@ -402,7 +437,7 @@ func (s *Server) handleWatch(sess *session, req *Request, resp *Response) error 
 		sess.watches = make(map[string]*dynamic.Matcher)
 	}
 	sess.watches[req.Watch] = m
-	fillMatches(resp, m.Answers(), req.Limit)
+	FillMatches(resp, m.Answers(), req.Limit)
 	return nil
 }
 
@@ -450,6 +485,9 @@ func (s *Server) matchOptions(sess *session, req *Request) *match.Options {
 	if req.Planner {
 		opts.OrderBy = plan.OrderFunc(sess.g, sess.stats())
 	}
+	if sess.owned != nil {
+		opts.FocusRestrict = sess.owned
+	}
 	return opts
 }
 
@@ -460,6 +498,13 @@ func (s *Server) handleMatch(sess *session, req *Request, resp *Response) error 
 	q, err := core.Parse(req.Pattern)
 	if err != nil {
 		return err
+	}
+	// A fragment owning no nodes answers for nothing; Options.FocusRestrict
+	// cannot express an empty restriction (empty means unrestricted).
+	if sess.owned != nil && len(sess.owned) == 0 {
+		FillMatches(resp, nil, req.Limit)
+		resp.Metrics = &match.Metrics{}
+		return nil
 	}
 	var res *match.Result
 	switch req.Engine {
@@ -475,7 +520,7 @@ func (s *Server) handleMatch(sess *session, req *Request, resp *Response) error 
 	if err != nil {
 		return err
 	}
-	fillMatches(resp, res.Matches, req.Limit)
+	FillMatches(resp, res.Matches, req.Limit)
 	resp.Metrics = &res.Metrics
 	return nil
 }
@@ -485,6 +530,10 @@ func (s *Server) handlePMatch(sess *session, req *Request, resp *Response) error
 		return errNoGraph
 	}
 	q, err := core.Parse(req.Pattern)
+	if err != nil {
+		return err
+	}
+	engine, err := parallel.ParseEngine(req.Engine)
 	if err != nil {
 		return err
 	}
@@ -504,11 +553,11 @@ func (s *Server) handlePMatch(sess *session, req *Request, resp *Response) error
 	if err != nil {
 		return err
 	}
-	res, err := parallel.PQMatch(parallel.NewCluster(p), q, threads)
+	res, err := parallel.Run(parallel.NewCluster(p), q, engine, threads)
 	if err != nil {
 		return err
 	}
-	fillMatches(resp, res.Matches, req.Limit)
+	FillMatches(resp, res.Matches, req.Limit)
 	resp.Metrics = &res.Metrics
 	return nil
 }
@@ -533,7 +582,7 @@ func (s *Server) handleRule(sess *session, req *Request, resp *Response) error {
 	if err != nil {
 		return err
 	}
-	fillMatches(resp, ev.Matches, req.Limit)
+	FillMatches(resp, ev.Matches, req.Limit)
 	resp.Support = ev.Support
 	resp.Confidence = ev.Confidence
 	resp.Lift = ev.Lift
@@ -562,7 +611,7 @@ func (s *Server) handleRPQFilter(sess *session, req *Request, resp *Response) er
 		return err
 	}
 	filtered := rpq.Filter(sess.g, res.Matches, c)
-	fillMatches(resp, filtered, req.Limit)
+	FillMatches(resp, filtered, req.Limit)
 	resp.Total = len(filtered)
 	resp.Metrics = &res.Metrics
 	return nil
@@ -591,7 +640,86 @@ func (s *Server) handlePartition(sess *session, req *Request, resp *Response) er
 	return nil
 }
 
-func fillMatches(resp *Response, matches []graph.NodeID, limit int) {
+// handleFragment turns the session into a cluster worker: Data carries a
+// d-hop-preserving fragment subgraph in the text format (local node ids)
+// and Owned lists the local ids of the focus candidates this worker owns.
+// Subsequent match and watch commands answer only for the owned set;
+// update commands mutate the fragment and maintain the watches.
+func (s *Server) handleFragment(sess *session, req *Request, resp *Response) error {
+	g, err := graph.Read(strings.NewReader(req.Data))
+	if err != nil {
+		return err
+	}
+	if g.Size() > s.cfg.MaxGraphSize {
+		return fmt.Errorf("fragment size %d exceeds server cap %d", g.Size(), s.cfg.MaxGraphSize)
+	}
+	owned, err := localNodes(g, req.Owned)
+	if err != nil {
+		return fmt.Errorf("fragment: %w", err)
+	}
+	sess.setGraph(g)
+	sess.owned = owned
+	resp.Nodes, resp.Edges = g.NumNodes(), g.NumEdges()
+	return nil
+}
+
+// handleAssign adds nodes to a fragment session's owned set. Standing
+// watches evaluate the new candidates immediately; any answers they
+// contribute are reported as per-watch deltas, mirroring update.
+func (s *Server) handleAssign(sess *session, req *Request, resp *Response) error {
+	if sess.owned == nil {
+		return fmt.Errorf("assign: session holds no fragment: run fragment first")
+	}
+	add, err := localNodes(sess.g, req.Owned)
+	if err != nil {
+		return fmt.Errorf("assign: %w", err)
+	}
+	have := make(map[graph.NodeID]bool, len(sess.owned))
+	for _, v := range sess.owned {
+		have[v] = true
+	}
+	for _, v := range add {
+		if !have[v] {
+			have[v] = true
+			sess.owned = append(sess.owned, v)
+		}
+	}
+	sort.Slice(sess.owned, func(i, j int) bool { return sess.owned[i] < sess.owned[j] })
+	names := make([]string, 0, len(sess.watches))
+	for name := range sess.watches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		delta, err := sess.watches[name].AddFocus(add)
+		if err != nil {
+			return fmt.Errorf("watch %q: %w", name, err)
+		}
+		wd := WatchDelta{Watch: name, Affected: delta.Affected}
+		for _, v := range delta.Added {
+			wd.Added = append(wd.Added, int64(v))
+		}
+		resp.Deltas = append(resp.Deltas, wd)
+	}
+	resp.Nodes, resp.Edges = sess.g.NumNodes(), sess.g.NumEdges()
+	return nil
+}
+
+// localNodes validates wire node ids against g and converts them.
+func localNodes(g *graph.Graph, ids []int64) ([]graph.NodeID, error) {
+	out := make([]graph.NodeID, len(ids))
+	for i, v := range ids {
+		if v < 0 || v >= int64(g.NumNodes()) {
+			return nil, fmt.Errorf("owned node %d outside [0, %d)", v, g.NumNodes())
+		}
+		out[i] = graph.NodeID(v)
+	}
+	return out, nil
+}
+
+// FillMatches writes an answer set into a response, applying the
+// request's limit; shared with the cluster front end.
+func FillMatches(resp *Response, matches []graph.NodeID, limit int) {
 	resp.Total = len(matches)
 	if limit > 0 && len(matches) > limit {
 		matches = matches[:limit]
