@@ -1,0 +1,112 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+// BenchmarkClusterUpdate measures update-batch routing latency: a
+// cluster with a standing watch absorbs small mutation batches, against
+// the single-process dynamic.Matcher baseline doing the same
+// maintenance in memory. The gap is the coordination tax per batch —
+// affected-region planning, per-worker wire round trips, delta merging
+// — which the HA work must not regress on the k=1 hot path. Run with
+// QGP_BENCH_RECORD=1 to refresh the BENCH_cluster_update.json baseline:
+//
+//	QGP_BENCH_RECORD=1 go test -run '^$' -bench BenchmarkClusterUpdate .
+func BenchmarkClusterUpdate(b *testing.B) {
+	const graphSize = 2000
+	g := gen.Social(gen.DefaultSocial(graphSize, 42))
+	pattern := "qgp\nn xo person *\nn z person\ne xo z follow >=3\n"
+	q, err := core.Parse(pattern)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Iteration 2k adds a pseudo-random edge and iteration 2k+1 removes
+	// that same edge, so the graph stays bounded across arbitrarily
+	// many iterations.
+	batchFor := func(i int) []server.UpdateSpec {
+		k := i / 2
+		from := int64((k*7919 + 13) % graphSize)
+		to := int64((k*104729 + 31) % graphSize)
+		if from == to {
+			to = (to + 1) % graphSize
+		}
+		op := "addEdge"
+		if i%2 == 1 {
+			op = "removeEdge"
+		}
+		return []server.UpdateSpec{{Op: op, From: from, To: to, Label: "follow"}}
+	}
+
+	record := map[string]interface{}{
+		"benchmark": "BenchmarkClusterUpdate",
+		"graph":     fmt.Sprintf("social n=%d seed=42", graphSize),
+		"pattern":   pattern,
+	}
+
+	b.Run("single", func(b *testing.B) {
+		m, err := dynamic.NewMatcher(g, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ups, err := server.ToUpdates(batchFor(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Apply(ups); err != nil {
+				b.Fatal(err)
+			}
+		}
+		record["single_ns_per_op"] = avgNs(b)
+	})
+
+	for _, workers := range []int{2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ts := cluster.InProcessN(workers, server.Config{})
+			c, err := cluster.New(g, ts, cluster.Config{D: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Watch("w", q); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Update(batchFor(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			record[fmt.Sprintf("cluster%d_ns_per_op", workers)] = avgNs(b)
+		})
+	}
+
+	if os.Getenv("QGP_BENCH_RECORD") != "" {
+		b.StopTimer()
+		f, err := os.Create("BENCH_cluster_update.json")
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(record); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote BENCH_cluster_update.json")
+	}
+}

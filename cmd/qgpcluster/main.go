@@ -3,7 +3,8 @@
 // newline-delimited JSON protocol as qgpd, so existing clients work
 // unchanged. Workers are either stock qgpd processes reached over TCP
 // (-workers) or embedded in-process servers (-spawn); each front-end
-// connection is an independent cluster session.
+// connection is an independent cluster session, unless -journal selects
+// the durable shared-session mode.
 //
 // Distributed:
 //
@@ -15,6 +16,13 @@
 //
 //	qgpcluster -addr :7688 -spawn 4
 //
+// High availability: keep k copies of every fragment on warm replica
+// sessions, probe the workers every 2 seconds and fail dead ones over,
+// and journal the graph and every accepted update batch so a restart
+// recovers the cluster (graph, fragments and standing watches):
+//
+//	qgpcluster -addr :7688 -spawn 4 -replicas 2 -supervise 2s -journal /var/lib/qgp
+//
 // Try it with netcat:
 //
 //	printf '{"id":1,"cmd":"gen","kind":"social","size":1000}\n{"id":2,"cmd":"match","pattern":"qgp\nn xo person *\nn z person\ne xo z follow >=3\n"}\n' | nc localhost 7688
@@ -23,7 +31,6 @@ package main
 import (
 	"context"
 	"flag"
-	"fmt"
 	"log"
 	"net"
 	"os"
@@ -33,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/ha"
 	"repro/internal/server"
 )
 
@@ -43,51 +51,84 @@ func main() {
 	d := flag.Int("d", 2, "hop radius preserved by the fragmentation (patterns needing more are rejected)")
 	engine := flag.String("engine", "qmatch", "per-worker matching engine: qmatch | qmatchn | enum")
 	budget := flag.Int64("budget", 0, "extension budget forwarded to workers (0 = worker default)")
+	replicas := flag.Int("replicas", 1, "copies of each fragment (k); k-1 warm replicas back every primary")
+	journalDir := flag.String("journal", "", "directory for the snapshot+journal; existing state is recovered at startup and the front end serves one durable session shared by all connections")
+	fsync := flag.Bool("fsync", false, "fsync every journaled update batch before fanning it out")
+	supervise := flag.Duration("supervise", 0, "probe workers this often and fail dead ones over (0 = failover only when an operation trips)")
 	maxGraph := flag.Int("max-graph", 50_000_000, "maximum session graph size (|V|+|E|)")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "close idle front-end connections after this long")
 	flag.Parse()
 
-	clusterCfg := cluster.Config{D: *d, Engine: *engine, Budget: *budget}
-	var newWorkers func() ([]cluster.Transport, error)
+	clusterCfg := cluster.Config{D: *d, Engine: *engine, Budget: *budget, Replicas: *replicas}
+
+	// The pool both places replicas (and failover re-ships) and supplies
+	// each session's primary workers, so all worker sessions share one
+	// load-tracked endpoint set.
+	var pool *ha.Pool
+	var workerCount int
 	if *workers != "" {
 		addrs := strings.Split(*workers, ",")
-		newWorkers = func() ([]cluster.Transport, error) {
-			ts := make([]cluster.Transport, 0, len(addrs))
-			for _, a := range addrs {
-				t, err := cluster.Dial(strings.TrimSpace(a))
-				if err != nil {
-					cluster.CloseAll(ts)
-					return nil, fmt.Errorf("worker %s: %w", a, err)
-				}
-				ts = append(ts, t)
-			}
-			return ts, nil
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
 		}
-		log.Printf("qgpcluster: using %d TCP workers: %s", len(addrs), *workers)
+		pool = ha.NewDialPool(addrs)
+		workerCount = len(addrs)
+		log.Printf("qgpcluster: using %d TCP worker endpoints: %s", len(addrs), *workers)
 	} else {
 		if *spawn < 1 {
 			log.Fatalf("qgpcluster: -spawn must be at least 1")
 		}
-		n := *spawn
-		newWorkers = func() ([]cluster.Transport, error) {
-			// Embedded workers idle as long as the front-end session
-			// lives; don't let the worker-side idle timeout cut them off.
-			return cluster.InProcessN(n, server.Config{IdleTimeout: 24 * time.Hour}), nil
+		// Embedded workers idle as long as the front-end session lives;
+		// don't let the worker-side idle timeout cut them off.
+		pool = ha.NewSpawnPool(*spawn, server.Config{IdleTimeout: 24 * time.Hour})
+		workerCount = *spawn
+		log.Printf("qgpcluster: spawning %d embedded workers per session", *spawn)
+	}
+	clusterCfg.Pool = pool
+	newWorkers := func() ([]cluster.Transport, error) { return pool.Primaries(workerCount) }
+
+	feCfg := cluster.FrontendConfig{
+		Cluster:      clusterCfg,
+		NewWorkers:   newWorkers,
+		MaxGraphSize: *maxGraph,
+		IdleTimeout:  *idle,
+	}
+
+	if *supervise > 0 {
+		interval := *supervise
+		feCfg.OnSession = func(c *cluster.Coordinator) func() {
+			m := ha.NewMonitor(c, ha.MonitorConfig{Interval: interval, Logf: log.Printf})
+			m.Start()
+			return m.Stop
 		}
-		log.Printf("qgpcluster: spawning %d embedded workers per session", n)
+	}
+
+	var journal *ha.Journal
+	if *journalDir != "" {
+		var err error
+		journal, err = ha.OpenJournal(*journalDir, ha.JournalOptions{Fsync: *fsync})
+		if err != nil {
+			log.Fatalf("qgpcluster: %v", err)
+		}
+		durable := &cluster.DurableState{Journal: journal}
+		if journal.HasState() {
+			durable.Graph = journal.Graph()
+			durable.Watches = journal.Watches()
+			info := journal.Recovery()
+			log.Printf("qgpcluster: recovered %d nodes / %d watches from %s (journal records applied: %d, torn tail: %v)",
+				durable.Graph.NumNodes(), len(durable.Watches), *journalDir, info.Applied, info.TornTail)
+		} else {
+			log.Printf("qgpcluster: journaling to fresh directory %s", *journalDir)
+		}
+		feCfg.Durable = durable
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("qgpcluster: %v", err)
 	}
-	fe := cluster.NewFrontend(cluster.FrontendConfig{
-		Cluster:      clusterCfg,
-		NewWorkers:   newWorkers,
-		MaxGraphSize: *maxGraph,
-		IdleTimeout:  *idle,
-	})
-	log.Printf("qgpcluster: listening on %s (d=%d)", ln.Addr(), *d)
+	fe := cluster.NewFrontend(feCfg)
+	log.Printf("qgpcluster: listening on %s (d=%d, replicas=%d)", ln.Addr(), *d, *replicas)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -102,8 +143,16 @@ func main() {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	exitCode := 0
 	if err := fe.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "qgpcluster: shutdown: %v\n", err)
-		os.Exit(1)
+		log.Printf("qgpcluster: shutdown: %v", err)
+		exitCode = 1
 	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Printf("qgpcluster: journal close: %v", err)
+			exitCode = 1
+		}
+	}
+	os.Exit(exitCode)
 }

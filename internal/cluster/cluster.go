@@ -12,6 +12,12 @@
 // for a TCP worker, InProcess for an embedded one — so the same cluster
 // runs across machines or inside a single test binary.
 //
+// High availability (ha.go) layers on this seam: with Config.Replicas=k
+// each fragment is also shipped to k-1 warm replica sessions placed by a
+// WorkerPool, a failed primary is promoted over or re-shipped from the
+// authoritative graph, and Config.Journal records the durable state that
+// internal/ha replays after a coordinator restart.
+//
 // Correctness rests on Lemma 9(1): whether a node answers a pattern Q
 // depends only on the subgraph induced by its d-hop neighborhood, where
 // d = parallel.RequiredHops(Q). Each worker owns a set of focus
@@ -47,6 +53,25 @@ type Config struct {
 	// Budget is the extension budget forwarded with every worker match
 	// request (0 uses each worker's default).
 	Budget int64
+	// Replicas is the number of copies of each fragment (k). The
+	// default (0 or 1) keeps the primary-only fragmentation of the
+	// original design. With k > 1 each fragment is also shipped to k-1
+	// warm replica sessions obtained from Pool (placed on the
+	// least-loaded endpoints by partition.OwnerMap owned counts, off
+	// the primary's endpoint when possible); update and assign batches
+	// are mirrored to replicas after the primary applies them, so a
+	// replica can be promoted on primary failure without re-shipping.
+	Replicas int
+	// Pool supplies fresh worker sessions for replica placement and
+	// failover re-shipping. Optional when Replicas <= 1: without it, a
+	// worker failure that no warm replica can cover fail-stops the
+	// coordinator.
+	Pool WorkerPool
+	// Journal, when set, receives the authoritative graph at
+	// construction and every accepted update batch (journaled before
+	// fan-out) and watch change, so internal/ha can rebuild the
+	// coordinator after a restart. Strictly off the hot path when nil.
+	Journal UpdateJournal
 }
 
 // Coordinator is the paper's Sc: it holds the authoritative global graph,
@@ -58,18 +83,30 @@ type Coordinator struct {
 	cfg     Config
 	g       *graph.Graph // authoritative global graph (edge-set normalized)
 	workers []*worker
-	watches map[string]bool
-	// failed is set when a worker failed mid-update, leaving fragments
-	// possibly inconsistent; every later request is refused.
+	watches map[string]string // watch name → pattern DSL (for failover re-registration)
+	closed  bool
+	// failed is set when a worker failed mid-update with no failover
+	// left, leaving fragments possibly inconsistent; every later
+	// request is refused.
 	failed error
 }
 
-// worker is the coordinator's book-keeping for one fragment holder. The
-// invariant between updates: the worker's session graph equals the
+// replica is one worker session holding a copy of a fragment. The
+// primary additionally holds the fragment's standing watches; warm
+// replicas mirror only the graph and owned set.
+type replica struct {
+	t        Transport
+	endpoint int // pool endpoint hosting the session, -1 unknown
+}
+
+// worker is the coordinator's book-keeping for one fragment. The
+// invariant between updates: every copy's session graph equals the
 // subgraph of c.g induced by nodes, with local ids toGlobal[local].
 type worker struct {
 	id       int
-	t        Transport
+	primary  *replica
+	replicas []*replica                    // warm mirrors, promotion order
+	dropped  int                           // replicas discarded after mirror/probe failures
 	nodes    map[graph.NodeID]bool         // materialized global nodes
 	owned    map[graph.NodeID]bool         // owned global nodes (answer set, disjoint across workers)
 	toLocal  map[graph.NodeID]graph.NodeID // global → local id
@@ -77,16 +114,26 @@ type worker struct {
 }
 
 // New fragments g across the given worker transports (one fragment per
-// transport) and ships each fragment with the fragment command. The input
-// graph is normalized to edge-set semantics (duplicate parallel edges
-// collapse), matching what dynamic.Apply does on every update; Graph
-// returns the normalized version.
+// transport) and ships each fragment with the fragment command; with
+// cfg.Replicas=k > 1 each fragment is also shipped to k-1 replica
+// sessions from cfg.Pool. The input graph is normalized to edge-set
+// semantics (duplicate parallel edges collapse), matching what
+// dynamic.Apply does on every update; Graph returns the normalized
+// version.
+//
+// On success the coordinator owns every transport it holds — ts and any
+// pool acquisitions — and releases them in Close. On error the caller
+// keeps ownership of ts; sessions New acquired from the pool are closed
+// before returning.
 func New(g *graph.Graph, ts []Transport, cfg Config) (*Coordinator, error) {
 	if len(ts) == 0 {
 		return nil, errors.New("cluster: need at least one worker transport")
 	}
 	if cfg.D <= 0 {
 		cfg.D = 2
+	}
+	if cfg.Replicas > 1 && cfg.Pool == nil {
+		return nil, fmt.Errorf("cluster: %d replicas requested but no worker pool configured", cfg.Replicas)
 	}
 	g, _, err := dynamic.Apply(g, nil)
 	if err != nil {
@@ -96,12 +143,12 @@ func New(g *graph.Graph, ts []Transport, cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	c := &Coordinator{cfg: cfg, g: g, watches: make(map[string]bool)}
+	c := &Coordinator{cfg: cfg, g: g, watches: make(map[string]string)}
 	c.workers = make([]*worker, len(ts))
 	for i, f := range p.Fragments {
 		w := &worker{
 			id:      i,
-			t:       ts[i],
+			primary: &replica{t: ts[i], endpoint: endpointOf(ts[i])},
 			nodes:   make(map[graph.NodeID]bool, len(f.Nodes)),
 			owned:   make(map[graph.NodeID]bool, len(f.Owned)),
 			toLocal: make(map[graph.NodeID]graph.NodeID, len(f.Nodes)),
@@ -119,6 +166,9 @@ func New(g *graph.Graph, ts []Transport, cfg Config) (*Coordinator, error) {
 		}
 		c.workers[wid].owned[graph.NodeID(v)] = true
 	}
+	// Replica placement load is the partition's owned-node count per
+	// fragment: the weight a fragment's sessions add to a pool endpoint.
+	ownedLoad := p.OwnedCounts()
 	err = c.fanOut(func(w *worker) error {
 		f := p.Fragments[w.id]
 		sub, toGlobal := g.Induced(f.Nodes)
@@ -134,15 +184,39 @@ func New(g *graph.Graph, ts []Transport, cfg Config) (*Coordinator, error) {
 		if _, err := sub.WriteTo(&buf); err != nil {
 			return fmt.Errorf("cluster: worker %d: serialize fragment: %w", w.id, err)
 		}
-		if _, err := w.t.Do(&server.Request{Cmd: "fragment", Data: buf.String(), Owned: ownedLocal}); err != nil {
-			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+		ship := &server.Request{Cmd: "fragment", Data: buf.String(), Owned: ownedLocal}
+		if _, err := w.primary.t.Do(ship); err != nil {
+			return &WorkerError{Worker: w.id, Op: "fragment", Err: err}
+		}
+		for len(w.replicas) < cfg.Replicas-1 {
+			r, err := c.newCopy(w, ship, ownedLoad[w.id])
+			if err != nil {
+				return &WorkerError{Worker: w.id, Op: "replicate", Err: err}
+			}
+			w.replicas = append(w.replicas, r)
 		}
 		return nil
 	})
 	if err != nil {
+		c.closeReplicasLocked()
 		return nil, err
 	}
+	if cfg.Journal != nil {
+		if err := cfg.Journal.SetGraph(g); err != nil {
+			c.closeReplicasLocked()
+			return nil, fmt.Errorf("cluster: journal: %w", err)
+		}
+	}
 	return c, nil
+}
+
+// endpointOf reports which pool endpoint hosts a transport, -1 when the
+// transport does not know (e.g. caller-supplied embedded workers).
+func endpointOf(t Transport) int {
+	if e, ok := t.(Endpointer); ok {
+		return e.Endpoint()
+	}
+	return -1
 }
 
 // Graph returns the coordinator's authoritative global graph.
@@ -167,6 +241,18 @@ func (c *Coordinator) FragmentSizes() []int {
 		sizes[i] = len(w.nodes)
 	}
 	return sizes
+}
+
+// refuseLocked reports why the coordinator no longer serves requests, or
+// nil. Callers must hold c.mu.
+func (c *Coordinator) refuseLocked() error {
+	if c.closed {
+		return errors.New("cluster: coordinator closed")
+	}
+	if c.failed != nil {
+		return fmt.Errorf("cluster: coordinator failed earlier: %w", c.failed)
+	}
+	return nil
 }
 
 // fanOut runs fn once per worker concurrently and returns the first error

@@ -23,9 +23,11 @@ func (f *flakyTransport) Do(req *server.Request) (*server.Response, error) {
 	return f.Transport.Do(req)
 }
 
-// TestFailStop: a worker failure during Watch, Unwatch or Update marks
-// the coordinator failed, and every later request is refused instead of
-// answered from possibly inconsistent fragments.
+// TestFailStop: with no replicas and no worker pool, a worker failure
+// during Watch, Unwatch or Update marks the coordinator failed, and
+// every later request is refused instead of answered from possibly
+// inconsistent fragments. The failure identifies which worker died and
+// during which operation.
 func TestFailStop(t *testing.T) {
 	for _, failOn := range []string{"watch", "unwatch", "update"} {
 		failOn := failOn
@@ -34,11 +36,11 @@ func TestFailStop(t *testing.T) {
 			healthy := InProcess(server.Config{})
 			flaky := &flakyTransport{Transport: InProcess(server.Config{}), failOn: failOn}
 			ts := []Transport{healthy, flaky}
-			t.Cleanup(func() { CloseAll(ts) })
 			c, err := New(g, ts, Config{D: 2})
 			if err != nil {
 				t.Fatal(err)
 			}
+			t.Cleanup(func() { c.Close() })
 			q := mustParse(t, testPatterns[0])
 
 			var opErr error
@@ -60,6 +62,21 @@ func TestFailStop(t *testing.T) {
 			if opErr == nil {
 				t.Fatalf("%s with a failing worker succeeded", failOn)
 			}
+			// The error must identify the failed worker (the flaky one is
+			// worker 1) and the operation in flight.
+			var we *WorkerError
+			if !errors.As(opErr, &we) {
+				t.Fatalf("%s error %v is not a *WorkerError", failOn, opErr)
+			}
+			if we.Worker != 1 {
+				t.Errorf("%s: WorkerError.Worker = %d, want 1 (the flaky worker)", failOn, we.Worker)
+			}
+			if we.Op != failOn {
+				t.Errorf("%s: WorkerError.Op = %q, want %q", failOn, we.Op, failOn)
+			}
+			if !strings.Contains(opErr.Error(), "worker 1") || !strings.Contains(opErr.Error(), failOn) {
+				t.Errorf("%s: error %q does not name the worker and operation", failOn, opErr)
+			}
 			if _, err := c.Match(q); err == nil || !strings.Contains(err.Error(), "failed earlier") {
 				t.Fatalf("Match after failed %s: err = %v, want fail-stop refusal", failOn, err)
 			}
@@ -67,15 +84,36 @@ func TestFailStop(t *testing.T) {
 	}
 }
 
+// TestClosedRefusal: a closed coordinator refuses requests with a clean
+// error instead of writing to closed worker sessions.
+func TestClosedRefusal(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(80, 2))
+	c, err := New(g, InProcessN(2, server.Config{}), Config{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := c.Match(mustParse(t, testPatterns[0])); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("Match on closed coordinator: err = %v, want closed refusal", err)
+	}
+}
+
 // TestFrontendFailedRebuild: when re-fragmentation fails partway, the
 // front-end session refuses queries instead of serving answers through
 // the stale coordinator's tables.
 func TestFrontendFailedRebuild(t *testing.T) {
-	var flaky *flakyTransport
+	// The front end dials a fresh worker set per gen/load (the built
+	// coordinator owns it); failOn steers each fresh set's second worker.
+	failOn := ""
 	fe := NewFrontend(FrontendConfig{
 		Cluster: Config{D: 2},
 		NewWorkers: func() ([]Transport, error) {
-			flaky = &flakyTransport{Transport: InProcess(server.Config{})}
+			flaky := &flakyTransport{Transport: InProcess(server.Config{}), failOn: failOn}
 			return []Transport{InProcess(server.Config{}), flaky}, nil
 		},
 		Logf: func(string, ...interface{}) {},
@@ -89,7 +127,7 @@ func TestFrontendFailedRebuild(t *testing.T) {
 	}
 	// Second gen fails mid-fragmentation: one worker re-fragmented, one
 	// dead.
-	flaky.failOn = "fragment"
+	failOn = "fragment"
 	resp = fe.handle(sess, &server.Request{Cmd: "gen", Kind: "social", Size: 120, Seed: 2})
 	if resp.Error == "" {
 		t.Fatal("gen with a dying worker succeeded")
@@ -99,7 +137,7 @@ func TestFrontendFailedRebuild(t *testing.T) {
 		t.Fatal("match served through a stale coordinator after failed re-fragmentation")
 	}
 	// A successful gen recovers the session.
-	flaky.failOn = ""
+	failOn = ""
 	resp = fe.handle(sess, &server.Request{Cmd: "gen", Kind: "social", Size: 100, Seed: 1})
 	if resp.Error != "" {
 		t.Fatalf("recovery gen: %s", resp.Error)

@@ -17,12 +17,26 @@ import (
 
 // FrontendConfig tunes a Frontend.
 type FrontendConfig struct {
-	// Cluster is the coordinator configuration applied to every session.
+	// Cluster is the coordinator configuration applied to every session
+	// (including Replicas, Pool and, for durable sessions, Journal).
 	Cluster Config
 	// NewWorkers supplies a fresh set of worker transports for a session's
 	// coordinator (each front-end connection is an independent cluster
 	// session, mirroring qgpd's session-per-connection model). Required.
+	// The coordinator built over them owns and closes them.
 	NewWorkers func() ([]Transport, error)
+	// Durable, when non-nil, replaces the session-per-connection model
+	// with ONE journal-backed cluster session shared by every
+	// connection: updates are journaled before fan-out and a restarted
+	// front end resumes from the recovered graph and watches. The
+	// shared session serializes requests and shares the watch
+	// namespace across connections.
+	Durable *DurableState
+	// OnSession, when set, is called with each coordinator the front
+	// end builds; the returned stop function is called when that
+	// coordinator is replaced or its session ends. internal/ha attaches
+	// its health monitor here.
+	OnSession func(*Coordinator) (stop func())
 	// MaxLineBytes bounds one request line (default 64 MiB).
 	MaxLineBytes int
 	// MaxGraphSize bounds |V|+|E| of gen/load graphs (default 50M).
@@ -32,6 +46,19 @@ type FrontendConfig struct {
 	IdleTimeout time.Duration
 	// Logf receives diagnostics; nil means log.Printf.
 	Logf func(format string, args ...interface{})
+}
+
+// DurableState is the journal backing of a durable front-end session:
+// the journal that receives graph, update and watch records, and the
+// state recovered from it at startup (nil/empty on a fresh directory).
+type DurableState struct {
+	Journal UpdateJournal
+	// Graph is the recovered authoritative graph to serve immediately,
+	// nil when the journal directory held no state.
+	Graph *graph.Graph
+	// Watches maps recovered watch names to their pattern DSL; they are
+	// re-registered when the recovered graph's cluster is built.
+	Watches map[string]string
 }
 
 func (c *FrontendConfig) fill() {
@@ -63,6 +90,10 @@ type Frontend struct {
 	conns    map[net.Conn]bool
 	shutdown bool
 	wg       sync.WaitGroup
+
+	// Durable mode: one shared session, serialized by dmu.
+	dmu   sync.Mutex
+	dsess *feSession
 }
 
 // NewFrontend returns a front-end server for cluster sessions.
@@ -105,8 +136,9 @@ func (f *Frontend) Serve(ln net.Listener) error {
 	}
 }
 
-// Shutdown stops accepting, closes the listener and all connections, and
-// waits for in-flight handlers (or the context).
+// Shutdown stops accepting, closes the listener and all connections,
+// waits for in-flight handlers (or the context), and releases the
+// durable session's coordinator and workers if one exists.
 func (f *Frontend) Shutdown(ctx context.Context) error {
 	f.mu.Lock()
 	f.shutdown = true
@@ -125,32 +157,55 @@ func (f *Frontend) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
+		// A handler may still hold dmu; skip the durable teardown
+		// rather than block past the caller's deadline.
 		return ctx.Err()
 	}
+	// All handlers have returned, so dmu is free.
+	f.dmu.Lock()
+	if f.dsess != nil {
+		f.dsess.close()
+		f.dsess = nil
+	}
+	f.dmu.Unlock()
+	return nil
 }
 
-// feSession is one front-end connection's state: worker transports are
-// dialed lazily on the first gen/load and reused when the session replaces
-// its graph (the fragment command resets each worker session).
+// feSession is one cluster session's state. The coordinator owns its
+// worker transports (including any pool-acquired replicas), so closing
+// the session cannot leak worker sessions even on an abrupt client
+// disconnect.
 type feSession struct {
-	ts    []Transport
 	coord *Coordinator
 	st    *stats.Stats
+	stop  func() // OnSession cleanup (e.g. a health monitor)
 }
 
-func (sess *feSession) close() {
-	if sess.ts != nil {
-		CloseAll(sess.ts)
+// reset tears the session's cluster down: the supervisor hook is
+// stopped and the coordinator releases every worker transport it owns.
+func (sess *feSession) reset() {
+	if sess.stop != nil {
+		sess.stop()
+		sess.stop = nil
 	}
+	if sess.coord != nil {
+		sess.coord.Close()
+		sess.coord = nil
+	}
+	sess.st = nil
 }
+
+func (sess *feSession) close() { sess.reset() }
 
 // ServeConn serves the protocol on one established connection and blocks
 // until it closes. The request loop itself is the server package's
 // ServeProtocol, so framing cannot diverge between qgpd and qgpcluster.
 func (f *Frontend) ServeConn(conn net.Conn) {
 	sess := &feSession{}
+	// A dropped connection — graceful or abrupt — tears down the
+	// per-connection cluster; the shared durable session (when Durable
+	// is configured) is not touched, it belongs to the front end.
 	defer sess.close()
 	server.ServeProtocol(conn, server.ProtocolConfig{
 		MaxLineBytes: f.cfg.MaxLineBytes,
@@ -161,6 +216,19 @@ func (f *Frontend) ServeConn(conn net.Conn) {
 }
 
 func (f *Frontend) handle(sess *feSession, req *server.Request) server.Response {
+	if f.cfg.Durable != nil {
+		// One shared, serialized session: the coordinator serializes its
+		// own operations, dmu additionally covers the session bookkeeping
+		// (stats cache, lazy recovery) shared across connections.
+		f.dmu.Lock()
+		defer f.dmu.Unlock()
+		var err error
+		if sess, err = f.durableSession(); err != nil {
+			var resp server.Response
+			resp.Error = err.Error()
+			return resp
+		}
+	}
 	start := time.Now()
 	var resp server.Response
 	var err error
@@ -193,36 +261,77 @@ func (f *Frontend) handle(sess *feSession, req *server.Request) server.Response 
 	return resp
 }
 
+// durableSession returns the shared journal-backed session, building its
+// cluster from the recovered graph and watches on first use. Callers
+// hold dmu. A failed recovery is returned to the requesting client and
+// retried on the next request.
+func (f *Frontend) durableSession() (*feSession, error) {
+	if f.dsess != nil {
+		return f.dsess, nil
+	}
+	sess := &feSession{}
+	if g := f.cfg.Durable.Graph; g != nil {
+		if err := f.buildCluster(sess, g, true); err != nil {
+			return nil, fmt.Errorf("recovering journaled cluster: %w", err)
+		}
+		for _, name := range sortedKeys(f.cfg.Durable.Watches) {
+			q, err := core.Parse(f.cfg.Durable.Watches[name])
+			if err != nil {
+				sess.close()
+				return nil, fmt.Errorf("recovering watch %q: %w", name, err)
+			}
+			if _, err := sess.coord.Watch(name, q); err != nil {
+				sess.close()
+				return nil, fmt.Errorf("recovering watch %q: %w", name, err)
+			}
+		}
+	}
+	f.dsess = sess
+	return sess, nil
+}
+
 var errNoCluster = errors.New("no graph loaded: run gen or load first")
 
-// setGraph builds (or rebuilds) the session's coordinator over g, dialing
-// the worker set on first use.
+// buildCluster replaces the session's coordinator with a fresh one over
+// g: fresh worker transports, and for a durable session the journal is
+// attached (cluster.New records g as the new durable graph).
+func (f *Frontend) buildCluster(sess *feSession, g *graph.Graph, durable bool) error {
+	// The old cluster's sessions are released first: a failed rebuild
+	// leaves the front-end session refusing queries (errNoCluster-style
+	// errors via nil coord) rather than serving a graph the client
+	// believes it replaced.
+	sess.reset()
+	ts, err := f.cfg.NewWorkers()
+	if err != nil {
+		return fmt.Errorf("workers: %w", err)
+	}
+	if len(ts) == 0 {
+		return errors.New("workers: NewWorkers returned an empty set")
+	}
+	ccfg := f.cfg.Cluster
+	if durable {
+		ccfg.Journal = f.cfg.Durable.Journal
+	} else {
+		ccfg.Journal = nil
+	}
+	coord, err := New(g, ts, ccfg)
+	if err != nil {
+		CloseAll(ts) // New failed: ownership stayed with us
+		return err
+	}
+	sess.coord = coord
+	if f.cfg.OnSession != nil {
+		sess.stop = f.cfg.OnSession(coord)
+	}
+	return nil
+}
+
+// setGraph builds (or rebuilds) the session's coordinator over g.
 func (f *Frontend) setGraph(sess *feSession, g *graph.Graph) error {
 	if g.Size() > f.cfg.MaxGraphSize {
 		return fmt.Errorf("graph size %d exceeds front-end cap %d", g.Size(), f.cfg.MaxGraphSize)
 	}
-	if sess.ts == nil {
-		ts, err := f.cfg.NewWorkers()
-		if err != nil {
-			return fmt.Errorf("workers: %w", err)
-		}
-		if len(ts) == 0 {
-			return errors.New("workers: NewWorkers returned an empty set")
-		}
-		sess.ts = ts
-	}
-	coord, err := New(g, sess.ts, f.cfg.Cluster)
-	if err != nil {
-		// A failed re-fragmentation may have already replaced some
-		// workers' sessions; the old coordinator's bookkeeping no longer
-		// describes them. Refuse queries until a gen/load succeeds rather
-		// than serve answers mapped through stale tables.
-		sess.coord = nil
-		return err
-	}
-	sess.coord = coord
-	sess.st = nil
-	return nil
+	return f.buildCluster(sess, g, f.cfg.Durable != nil && sess == f.dsess)
 }
 
 // handleGraph serves gen and load: the graph construction is shared with

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// closeCounting wraps a transport and records whether it was closed.
+type closeCounting struct {
+	Transport
+	closed atomic.Bool
+}
+
+func (t *closeCounting) Close() error {
+	t.closed.Store(true)
+	return t.Transport.Close()
+}
+
+// TestFrontendClosesWorkersOnDisconnect: an abrupt client disconnect
+// must tear the per-connection cluster down — the coordinator and every
+// worker session it owns, including pool-acquired replicas — instead of
+// leaking them for the process lifetime.
+func TestFrontendClosesWorkersOnDisconnect(t *testing.T) {
+	var mu sync.Mutex
+	var made []*closeCounting
+	pool := newTestPool(4)
+	fe := NewFrontend(FrontendConfig{
+		Cluster: Config{D: 2, Replicas: 2, Pool: pool},
+		NewWorkers: func() ([]Transport, error) {
+			ts := make([]Transport, 2)
+			mu.Lock()
+			for i := range ts {
+				cc := &closeCounting{Transport: InProcess(server.Config{})}
+				made = append(made, cc)
+				ts[i] = cc
+			}
+			mu.Unlock()
+			return ts, nil
+		},
+		Logf: func(string, ...interface{}) {},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fe.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		fe.Shutdown(ctx)
+	})
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.NewClient(conn)
+	if _, _, err := cl.Gen("social", 150, 4); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	mu.Lock()
+	workers := len(made)
+	mu.Unlock()
+	if workers != 2 {
+		t.Fatalf("expected 2 worker transports, NewWorkers made %d", workers)
+	}
+	if got := pool.handedCount(); got != 2 {
+		t.Fatalf("expected 2 pool replicas, pool handed out %d", got)
+	}
+
+	// Abrupt disconnect: RST instead of FIN, no unwatch/cleanup traffic.
+	conn.(*net.TCPConn).SetLinger(0)
+	conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		allClosed := true
+		for _, cc := range made {
+			if !cc.closed.Load() {
+				allClosed = false
+			}
+		}
+		mu.Unlock()
+		if allClosed && pool.openCount() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker sessions still open 5s after abrupt client disconnect (pool open: %d)", pool.openCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,426 @@
+package cluster
+
+// High-availability mechanics for the coordinator: warm fragment
+// replicas, primary failover (promotion or re-ship from the
+// authoritative graph), state-verifying probes and replica repair. The
+// policy side — when to probe, how many consecutive failures declare a
+// worker dead, journal-backed restart recovery — lives in internal/ha;
+// this file is the mechanism it drives.
+//
+// The invariants that make failover exact:
+//
+//   - A fragment's local id space is its toGlobal order, and
+//     graph.Induced preserves the order of its input node list, so
+//     re-shipping Induced(state, w.toGlobal) reproduces the exact local
+//     id space of the lost session — answer merging and standing-watch
+//     deltas keep working unchanged.
+//   - Update and assign batches reach replicas only after the primary
+//     applied them, so when a primary dies mid-batch every warm replica
+//     is still at the pre-batch sync point: promoting one and replaying
+//     the batch neither loses nor double-applies mutations (addNode is
+//     not idempotent, so this ordering is load-bearing).
+//   - Warm replicas carry no standing watches; promotion registers them
+//     (at the promoted session's current sync point) before the failed
+//     operation is retried, so the retried batch reports exactly the
+//     delta the lost primary would have.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/client"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// WorkerError identifies which worker failed and during which operation,
+// so a fail-stopped coordinator's refusals name the culprit instead of a
+// bare wrapped error.
+type WorkerError struct {
+	// Worker is the fragment id (coordinator worker index).
+	Worker int
+	// Endpoint is the pool endpoint hosting the failed session, -1 when
+	// unknown.
+	Endpoint int
+	// Op is the wire operation in flight: "fragment", "replicate",
+	// "update", "assign", "watch", "unwatch", "match", "probe".
+	Op  string
+	Err error
+}
+
+func (e *WorkerError) Error() string {
+	where := ""
+	if e.Endpoint >= 0 {
+		where = fmt.Sprintf(" (endpoint %d)", e.Endpoint)
+	}
+	return fmt.Sprintf("cluster: worker %d%s failed during %s: %v", e.Worker, where, e.Op, e.Err)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// sendPrimary sends req to w's current primary. A transport-level
+// failure (the worker is unreachable or died mid-request) triggers
+// failover — promote a warm replica or re-ship the fragment from state,
+// the authoritative graph at the fragment's current sync point — and a
+// retry on the new primary. A protocol-level failure (the worker
+// answered with an error response, client.ServerError) is returned as
+// is: the worker is alive, so killing it would not help.
+func (c *Coordinator) sendPrimary(w *worker, op string, req *server.Request, state *graph.Graph) (*server.Response, error) {
+	// Each failover consumes a warm replica or a pool session, so the
+	// retry loop is bounded; +2 covers the initial attempt and one
+	// final re-ship after the replica list is exhausted. The bound is
+	// captured up front: failover shrinks w.replicas, and the last
+	// promotion still deserves its retry.
+	attempts := len(w.replicas) + 2
+	for attempt := 0; attempt < attempts; attempt++ {
+		resp, err := w.primary.t.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		var se *client.ServerError
+		if errors.As(err, &se) {
+			return nil, &WorkerError{Worker: w.id, Endpoint: w.primary.endpoint, Op: op, Err: err}
+		}
+		if ferr := c.failover(w, state); ferr != nil {
+			return nil, &WorkerError{Worker: w.id, Endpoint: w.primary.endpoint, Op: op,
+				Err: fmt.Errorf("%v; failover: %w", err, ferr)}
+		}
+	}
+	return nil, &WorkerError{Worker: w.id, Endpoint: w.primary.endpoint, Op: op,
+		Err: errors.New("no worker session survived failover")}
+}
+
+// failover replaces w's dead primary: the first warm replica that
+// accepts the standing watches is promoted; with none left, the
+// fragment is re-shipped from state to a fresh pool session. Callers
+// must hold c.mu (directly or via the fan-out running under it) and
+// pass the authoritative graph matching the fragment's current sync
+// point. On error the fragment has no serving primary, but the
+// coordinator is not failed: a later call may succeed once the pool
+// recovers.
+func (c *Coordinator) failover(w *worker, state *graph.Graph) error {
+	w.primary.t.Close()
+	for len(w.replicas) > 0 {
+		r := w.replicas[0]
+		w.replicas = w.replicas[1:]
+		if err := c.enlistWatches(r); err != nil {
+			r.t.Close()
+			w.dropped++
+			continue
+		}
+		w.primary = r
+		return nil
+	}
+	r, err := c.reship(w, state)
+	if err != nil {
+		return err
+	}
+	if err := c.enlistWatches(r); err != nil {
+		r.t.Close()
+		return fmt.Errorf("re-registering watches on re-shipped fragment: %w", err)
+	}
+	w.primary = r
+	return nil
+}
+
+// enlistWatches registers every standing watch on a session about to
+// serve as primary. The initial answer sets it computes are discarded:
+// the session's graph is at the fragment's current sync point, so they
+// equal the answers already accumulated from previously reported
+// deltas.
+func (c *Coordinator) enlistWatches(r *replica) error {
+	for _, name := range sortedKeys(c.watches) {
+		if _, err := r.t.Do(&server.Request{Cmd: "watch", Watch: name, Pattern: c.watches[name]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reship rebuilds w's fragment on a fresh pool session from state.
+// Induced preserves the order of w.toGlobal, so the new session's local
+// id space is identical to the lost one's.
+func (c *Coordinator) reship(w *worker, state *graph.Graph) (*replica, error) {
+	req, err := w.shipRequest(state)
+	if err != nil {
+		return nil, err
+	}
+	return c.newCopy(w, req, len(w.owned))
+}
+
+// shipRequest serializes w's fragment at the given authoritative-graph
+// sync point into a fragment command.
+func (w *worker) shipRequest(state *graph.Graph) (*server.Request, error) {
+	sub, _ := state.Induced(w.toGlobal)
+	var buf bytes.Buffer
+	if _, err := sub.WriteTo(&buf); err != nil {
+		return nil, fmt.Errorf("serialize fragment %d: %w", w.id, err)
+	}
+	ownedLocal := make([]int64, 0, len(w.owned))
+	for gv := range w.owned {
+		ownedLocal = append(ownedLocal, int64(w.toLocal[gv]))
+	}
+	sort.Slice(ownedLocal, func(i, j int) bool { return ownedLocal[i] < ownedLocal[j] })
+	return &server.Request{Cmd: "fragment", Data: buf.String(), Owned: ownedLocal}, nil
+}
+
+// newCopy obtains a fresh session from the pool — off the endpoints
+// already holding a copy of this fragment when possible — and ships the
+// fragment to it.
+func (c *Coordinator) newCopy(w *worker, ship *server.Request, weight int) (*replica, error) {
+	if c.cfg.Pool == nil {
+		return nil, errors.New("no warm replica left and no worker pool configured")
+	}
+	t, ep, err := c.cfg.Pool.Get(weight, w.occupiedEndpoints())
+	if err != nil {
+		return nil, fmt.Errorf("worker pool: %w", err)
+	}
+	if _, err := t.Do(ship); err != nil {
+		t.Close()
+		return nil, fmt.Errorf("shipping fragment: %w", err)
+	}
+	return &replica{t: t, endpoint: ep}, nil
+}
+
+// occupiedEndpoints lists the pool endpoints already hosting a copy of
+// the fragment, so placement avoids co-locating copies.
+func (w *worker) occupiedEndpoints() map[int]bool {
+	avoid := make(map[int]bool, len(w.replicas)+1)
+	if w.primary != nil && w.primary.endpoint >= 0 {
+		avoid[w.primary.endpoint] = true
+	}
+	for _, r := range w.replicas {
+		if r.endpoint >= 0 {
+			avoid[r.endpoint] = true
+		}
+	}
+	return avoid
+}
+
+// mirror forwards a state-changing request the primary has applied to
+// every warm replica. A replica that fails to apply it is no longer a
+// faithful mirror and is dropped (Repair recruits a replacement); the
+// primary's result stands either way.
+func (c *Coordinator) mirror(w *worker, req *server.Request) {
+	kept := w.replicas[:0]
+	for _, r := range w.replicas {
+		if _, err := r.t.Do(req); err != nil {
+			r.t.Close()
+			w.dropped++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	w.replicas = kept
+}
+
+// ProbeResult reports one fragment's health: nil errors mean the
+// session answered the ping and still holds the expected fragment
+// state.
+type ProbeResult struct {
+	Fragment int
+	Primary  error
+	Replicas []error // one entry per warm replica, promotion order
+}
+
+// Probe pings every fragment copy over the wire protocol's ping path
+// and verifies the session still holds the expected fragment (node and
+// owned counts match the coordinator's bookkeeping, catching a worker
+// that restarted blank as well as one that died). Probing is read-only:
+// it performs no failover — internal/ha's Monitor applies its failure
+// policy to the results and calls FailOver and Repair.
+func (c *Coordinator) Probe() ([]ProbeResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.refuseLocked(); err != nil {
+		return nil, err
+	}
+	results := make([]ProbeResult, len(c.workers))
+	c.fanOut(func(w *worker) error {
+		pr := ProbeResult{Fragment: w.id, Primary: w.probe(w.primary)}
+		for _, r := range w.replicas {
+			pr.Replicas = append(pr.Replicas, w.probe(r))
+		}
+		results[w.id] = pr
+		return nil
+	})
+	return results, nil
+}
+
+// probe checks one fragment copy: reachable, holding a fragment, and at
+// the expected node/owned counts.
+func (w *worker) probe(r *replica) error {
+	resp, err := r.t.Do(&server.Request{Cmd: "ping"})
+	if err != nil {
+		return &WorkerError{Worker: w.id, Endpoint: r.endpoint, Op: "probe", Err: err}
+	}
+	if !resp.Fragment {
+		return &WorkerError{Worker: w.id, Endpoint: r.endpoint, Op: "probe",
+			Err: errors.New("session no longer holds a fragment")}
+	}
+	if resp.Nodes != len(w.toGlobal) || resp.Owned != len(w.owned) {
+		return &WorkerError{Worker: w.id, Endpoint: r.endpoint, Op: "probe",
+			Err: fmt.Errorf("state mismatch: session has %d nodes / %d owned, expected %d / %d",
+				resp.Nodes, resp.Owned, len(w.toGlobal), len(w.owned))}
+	}
+	return nil
+}
+
+// FailOver force-replaces a fragment's primary — promotion of a warm
+// replica, or a re-ship from the authoritative graph — without waiting
+// for an operation to trip over it. The supervision loop calls it when
+// probes exceed its failure threshold.
+func (c *Coordinator) FailOver(fragment int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.refuseLocked(); err != nil {
+		return err
+	}
+	if fragment < 0 || fragment >= len(c.workers) {
+		return fmt.Errorf("cluster: no fragment %d", fragment)
+	}
+	w := c.workers[fragment]
+	if err := c.failover(w, c.g); err != nil {
+		return &WorkerError{Worker: fragment, Endpoint: w.primary.endpoint, Op: "failover", Err: err}
+	}
+	return nil
+}
+
+// RepairReport summarizes one Repair pass.
+type RepairReport struct {
+	// Dropped counts replicas discarded because they failed their
+	// probe.
+	Dropped int
+	// Added counts fresh replicas shipped to restore Config.Replicas.
+	Added int
+}
+
+// Repair restores the replication factor: dead warm replicas are
+// dropped and fresh ones are shipped from the authoritative graph until
+// every fragment has Replicas-1 mirrors again (or the pool runs out, in
+// which case the shortfall is reported as an error alongside the partial
+// report).
+func (c *Coordinator) Repair() (RepairReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var rep RepairReport
+	if err := c.refuseLocked(); err != nil {
+		return rep, err
+	}
+	var firstErr error
+	for _, w := range c.workers {
+		kept := w.replicas[:0]
+		for _, r := range w.replicas {
+			if w.probe(r) != nil {
+				r.t.Close()
+				w.dropped++
+				rep.Dropped++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		w.replicas = kept
+		for len(w.replicas) < c.cfg.Replicas-1 {
+			r, err := c.reship(w, c.g)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = &WorkerError{Worker: w.id, Op: "replicate", Err: err}
+				}
+				break
+			}
+			w.replicas = append(w.replicas, r)
+			rep.Added++
+		}
+	}
+	return rep, firstErr
+}
+
+// FragmentStatus describes one fragment's serving state.
+type FragmentStatus struct {
+	Fragment     int
+	Endpoint     int // primary's pool endpoint, -1 unknown
+	Materialized int // nodes in the fragment
+	Owned        int // focus candidates answered for
+	Replicas     int // warm replicas currently alive
+	Dropped      int // replicas discarded over the coordinator's lifetime
+}
+
+// Status reports the serving state of every fragment.
+func (c *Coordinator) Status() []FragmentStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]FragmentStatus, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = FragmentStatus{
+			Fragment:     i,
+			Endpoint:     w.primary.endpoint,
+			Materialized: len(w.nodes),
+			Owned:        len(w.owned),
+			Replicas:     len(w.replicas),
+			Dropped:      w.dropped,
+		}
+	}
+	return out
+}
+
+// ReplicaCounts returns each fragment's current warm-replica count.
+func (c *Coordinator) ReplicaCounts() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	counts := make([]int, len(c.workers))
+	for i, w := range c.workers {
+		counts[i] = len(w.replicas)
+	}
+	return counts
+}
+
+// Close releases every worker session the coordinator holds — primaries
+// and warm replicas — and makes later requests fail with a clean
+// "closed" error. Safe to call more than once.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var first error
+	for _, w := range c.workers {
+		if err := w.primary.t.Close(); err != nil && first == nil {
+			first = err
+		}
+		for _, r := range w.replicas {
+			if err := r.t.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		w.replicas = nil
+	}
+	return first
+}
+
+// closeReplicasLocked releases every pool-acquired replica; New's error
+// path uses it so a failed construction does not leak pool sessions
+// (the caller keeps ownership of the primary transports it passed in).
+func (c *Coordinator) closeReplicasLocked() {
+	for _, w := range c.workers {
+		if w == nil {
+			continue
+		}
+		for _, r := range w.replicas {
+			r.t.Close()
+		}
+		w.replicas = nil
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

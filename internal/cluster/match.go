@@ -48,8 +48,8 @@ func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (*MatchResu
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.failed != nil {
-		return nil, fmt.Errorf("cluster: coordinator failed earlier: %w", c.failed)
+	if err := c.refuseLocked(); err != nil {
+		return nil, err
 	}
 
 	engine, budget, planner := c.cfg.Engine, c.cfg.Budget, false
@@ -65,15 +65,18 @@ func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (*MatchResu
 	pattern := q.String()
 	responses := make([]*server.Response, len(c.workers))
 	err := c.fanOut(func(w *worker) error {
-		resp, err := w.t.Do(&server.Request{
+		// Matching does not change fragment state, so a failover here
+		// (against the current authoritative graph) and a plain retry
+		// are always safe.
+		resp, err := c.sendPrimary(w, "match", &server.Request{
 			Cmd:     "match",
 			Pattern: pattern,
 			Engine:  engine,
 			Budget:  budget,
 			Planner: planner,
-		})
+		}, c.g)
 		if err != nil {
-			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+			return err
 		}
 		responses[w.id] = resp
 		return nil

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+// testPool is a WorkerPool over embedded workers that records every
+// session it hands out, so tests can kill replicas and observe
+// placement.
+type testPool struct {
+	mu        sync.Mutex
+	endpoints int
+	next      int
+	handed    []*closeCounting
+	avoids    []map[int]bool
+}
+
+func newTestPool(endpoints int) *testPool { return &testPool{endpoints: endpoints} }
+
+func (p *testPool) Get(weight int, avoid map[int]bool) (Transport, int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ep := p.next % p.endpoints
+	p.next++
+	t := &closeCounting{Transport: InProcess(server.Config{})}
+	p.handed = append(p.handed, t)
+	cp := make(map[int]bool, len(avoid))
+	for k, v := range avoid {
+		cp[k] = v
+	}
+	p.avoids = append(p.avoids, cp)
+	return t, ep, nil
+}
+
+func (p *testPool) handedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.handed)
+}
+
+// openCount reports how many handed-out sessions are not yet closed.
+func (p *testPool) openCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	open := 0
+	for _, t := range p.handed {
+		if !t.closed.Load() {
+			open++
+		}
+	}
+	return open
+}
+
+func (p *testPool) kill(i int) {
+	p.mu.Lock()
+	t := p.handed[i]
+	p.mu.Unlock()
+	t.Close()
+}
+
+// TestReplicatedNewAndPromotion: with Replicas=2 each fragment gets one
+// warm replica from the pool; killing a primary mid-stream promotes the
+// replica and the cluster keeps answering exactly like a single
+// process.
+func TestReplicatedNewAndPromotion(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(200, 13))
+	pool := newTestPool(4)
+	ts := InProcessN(2, server.Config{})
+	c, err := New(g, ts, Config{D: 2, Replicas: 2, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if got := c.ReplicaCounts(); !reflect.DeepEqual(got, []int{1, 1}) {
+		t.Fatalf("ReplicaCounts = %v, want [1 1]", got)
+	}
+	ref := c.Graph()
+	q := mustParse(t, testPatterns[0])
+	if _, err := c.Watch("w", q); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill worker 0's primary abruptly; the next update must promote
+	// the warm replica and report the exact delta.
+	ts[0].Close()
+	specs := []server.UpdateSpec{{Op: "removeNode", From: 3}}
+	res, err := c.Update(specs)
+	if err != nil {
+		t.Fatalf("Update after primary death: %v", err)
+	}
+	ref = applySpecs(t, ref, specs)
+	if res.Nodes != ref.NumNodes() || res.Edges != ref.NumEdges() {
+		t.Fatalf("post-failover counts %d/%d != oracle %d/%d", res.Nodes, res.Edges, ref.NumNodes(), ref.NumEdges())
+	}
+	got, err := c.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := globalAnswers(t, ref, q); !reflect.DeepEqual(nodeIDs(got.Matches), nodeIDs(want)) {
+		t.Fatalf("post-failover answers %v != oracle %v", got.Matches, want)
+	}
+	// Every probe must be healthy again (the dead primary is gone).
+	probes, err := c.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range probes {
+		if pr.Primary != nil {
+			t.Fatalf("fragment %d primary unhealthy after failover: %v", pr.Fragment, pr.Primary)
+		}
+	}
+}
+
+// TestFailoverExhaustsReplicasThenReships: when a fragment's primary
+// AND its warm replica are both dead, the operation must still succeed
+// via the final re-ship from the authoritative graph — the retry budget
+// covers every promotion plus the re-ship (regression: the bound used
+// to shrink as failover consumed replicas, stranding the last
+// successful re-ship unretried).
+func TestFailoverExhaustsReplicasThenReships(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(150, 21))
+	pool := newTestPool(4)
+	ts := InProcessN(2, server.Config{})
+	c, err := New(g, ts, Config{D: 2, Replicas: 2, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	ref := c.Graph()
+
+	// Kill fragment 0's primary and its warm replica (the first pool
+	// session). With no watches registered, promotion cannot notice the
+	// replica is dead until the retried request fails on it.
+	ts[0].Close()
+	pool.kill(0)
+
+	q := mustParse(t, testPatterns[0])
+	got, err := c.Match(q)
+	if err != nil {
+		t.Fatalf("Match with primary and replica both dead: %v", err)
+	}
+	if want := globalAnswers(t, ref, q); !reflect.DeepEqual(nodeIDs(got.Matches), nodeIDs(want)) {
+		t.Fatalf("answers after double failover %v != oracle %v", got.Matches, want)
+	}
+}
+
+// TestProtocolErrorDoesNotFailOver: a worker that answers with an error
+// response is alive; the coordinator must surface the error without
+// killing the worker or consuming replicas or pool sessions.
+func TestProtocolErrorDoesNotFailOver(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(120, 5))
+	pool := newTestPool(4)
+	c, err := New(g, InProcessN(2, server.Config{}), Config{D: 2, Replicas: 2, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	handedBefore := pool.handedCount()
+
+	q := mustParse(t, testPatterns[0])
+	if _, err := c.MatchWith(q, &MatchOptions{Engine: "bogus"}); err == nil {
+		t.Fatal("bogus engine accepted")
+	} else if !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if got := pool.handedCount(); got != handedBefore {
+		t.Fatalf("protocol error consumed %d pool sessions", got-handedBefore)
+	}
+	if got := c.ReplicaCounts(); !reflect.DeepEqual(got, []int{1, 1}) {
+		t.Fatalf("protocol error consumed replicas: %v", got)
+	}
+	// The cluster is not failed: real queries still work.
+	if _, err := c.Match(q); err != nil {
+		t.Fatalf("Match after protocol error: %v", err)
+	}
+}
+
+// TestReplicaDropAndRepair: a replica that dies is dropped at the next
+// mirrored batch without disturbing the primary's result, and Repair
+// restores the replication factor from the pool.
+func TestReplicaDropAndRepair(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(160, 9))
+	pool := newTestPool(4)
+	c, err := New(g, InProcessN(2, server.Config{}), Config{D: 2, Replicas: 2, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	ref := c.Graph()
+	q := mustParse(t, testPatterns[0])
+	if _, err := c.Watch("w", q); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first two pool sessions are the two fragments' replicas; kill
+	// both so every fragment loses its mirror.
+	pool.kill(0)
+	pool.kill(1)
+	specs := []server.UpdateSpec{
+		{Op: "addEdge", From: 1, To: 2, Label: "follow"},
+		{Op: "addEdge", From: int64(ref.NumNodes()) - 2, To: int64(ref.NumNodes()) - 1, Label: "follow"},
+	}
+	res, err := c.Update(specs)
+	if err != nil {
+		t.Fatalf("Update with dead replicas: %v", err)
+	}
+	ref = applySpecs(t, ref, specs)
+	if res.Nodes != ref.NumNodes() || res.Edges != ref.NumEdges() {
+		t.Fatalf("counts %d/%d != oracle %d/%d", res.Nodes, res.Edges, ref.NumNodes(), ref.NumEdges())
+	}
+	// Only fragments the batch contacted notice their dead mirror at
+	// mirror time; Repair probes and replaces the rest.
+	rep, err := c.Repair()
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if got := c.ReplicaCounts(); !reflect.DeepEqual(got, []int{1, 1}) {
+		t.Fatalf("ReplicaCounts after Repair = %v, want [1 1] (report %+v)", got, rep)
+	}
+	if rep.Added == 0 {
+		t.Fatalf("Repair added no replicas: %+v", rep)
+	}
+	// The repaired replicas are faithful mirrors.
+	probes, err := c.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range probes {
+		for i, rerr := range pr.Replicas {
+			if rerr != nil {
+				t.Fatalf("fragment %d replica %d unhealthy after repair: %v", pr.Fragment, i, rerr)
+			}
+		}
+	}
+	if got, err := c.Match(q); err != nil {
+		t.Fatal(err)
+	} else if want := globalAnswers(t, ref, q); !reflect.DeepEqual(nodeIDs(got.Matches), nodeIDs(want)) {
+		t.Fatalf("answers after repair %v != oracle %v", got.Matches, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"net"
 
 	"repro/internal/client"
+	"repro/internal/graph"
 	"repro/internal/server"
 )
 
@@ -14,6 +15,45 @@ import (
 type Transport interface {
 	Do(req *server.Request) (*server.Response, error)
 	Close() error
+}
+
+// WorkerPool supplies fresh worker transports for replica placement and
+// failover re-shipping. Implementations (internal/ha) re-dial qgpd
+// addresses or spawn embedded workers, tracking per-endpoint load.
+type WorkerPool interface {
+	// Get returns a fresh worker session, preferring the least-loaded
+	// endpoint whose id is not in avoid (the coordinator passes the
+	// endpoints already holding a copy of the fragment, so replicas do
+	// not co-locate with their primary when the pool has a choice).
+	// weight is the load the session will add — the fragment's
+	// owned-node count from partition.OwnerMap. The returned transport
+	// reports its endpoint back to the pool when closed.
+	Get(weight int, avoid map[int]bool) (Transport, int, error)
+}
+
+// Endpointer is optionally implemented by transports that know which
+// pool endpoint hosts them; the coordinator uses it to keep replicas off
+// their primary's endpoint. Transports without it report endpoint -1.
+type Endpointer interface {
+	Endpoint() int
+}
+
+// UpdateJournal receives the coordinator's durable state: the
+// authoritative graph at construction and every accepted update batch
+// and watch change. internal/ha implements it over internal/store's
+// snapshot+journal so a restarted coordinator can replay, re-fragment,
+// re-ship and re-register watches (ha.Recover).
+type UpdateJournal interface {
+	// SetGraph replaces the durable graph (called by New with the
+	// normalized authoritative graph once fragments are shipped).
+	SetGraph(g *graph.Graph) error
+	// AppendBatch records an accepted update batch; the coordinator
+	// calls it after validating the batch against the authoritative
+	// graph and before fanning it out to the workers.
+	AppendBatch(specs []server.UpdateSpec) error
+	// WatchRegistered and WatchRemoved record the standing-watch set.
+	WatchRegistered(name, pattern string) error
+	WatchRemoved(name string) error
 }
 
 // Dial connects to a stock qgpd process that will act as a worker. Each

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// TestTransportErrorPaths distinguishes the two failure classes a
+// transport surfaces, for both the TCP (Dial) and embedded (InProcess)
+// transports:
+//
+//   - protocol-level: the worker is alive and replies with an error
+//     response — a *client.ServerError, the connection stays usable,
+//     and the cluster layer must NOT fail the worker over;
+//   - connection-level: the worker dies mid-request — any other error,
+//     which is exactly what triggers failover.
+func TestTransportErrorPaths(t *testing.T) {
+	silent := func(string, ...interface{}) {}
+	transports := []struct {
+		name string
+		// make returns a connected transport and a function that kills
+		// the server side abruptly.
+		make func(t *testing.T) (Transport, func())
+	}{
+		{
+			name: "dial",
+			make: func(t *testing.T) (Transport, func()) {
+				t.Helper()
+				srv := server.New(server.Config{Logf: silent})
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				go srv.Serve(ln)
+				tr, err := Dial(ln.Addr().String())
+				if err != nil {
+					t.Fatal(err)
+				}
+				drop := func() {
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					defer cancel()
+					srv.Shutdown(ctx)
+				}
+				return tr, drop
+			},
+		},
+		{
+			name: "inprocess",
+			make: func(t *testing.T) (Transport, func()) {
+				t.Helper()
+				srv := server.New(server.Config{Logf: silent})
+				clientEnd, serverEnd := net.Pipe()
+				go srv.ServeConn(serverEnd)
+				return client.NewClient(clientEnd), func() { serverEnd.Close() }
+			},
+		},
+	}
+	modes := []struct {
+		name string
+		run  func(t *testing.T, tr Transport, drop func())
+	}{
+		{
+			name: "protocol-error",
+			run: func(t *testing.T, tr Transport, drop func()) {
+				_, err := tr.Do(&server.Request{Cmd: "bogus"})
+				if err == nil {
+					t.Fatal("unknown command succeeded")
+				}
+				var se *client.ServerError
+				if !errors.As(err, &se) {
+					t.Fatalf("worker error response surfaced as %T (%v), want *client.ServerError", err, err)
+				}
+				// The session survives a command error: the very same
+				// connection must keep answering.
+				resp, err := tr.Do(&server.Request{Cmd: "ping"})
+				if err != nil || !resp.Pong {
+					t.Fatalf("ping after protocol error: resp=%+v err=%v", resp, err)
+				}
+			},
+		},
+		{
+			name: "connection-drop",
+			run: func(t *testing.T, tr Transport, drop func()) {
+				if _, err := tr.Do(&server.Request{Cmd: "ping"}); err != nil {
+					t.Fatalf("ping before drop: %v", err)
+				}
+				drop()
+				_, err := tr.Do(&server.Request{Cmd: "ping"})
+				if err == nil {
+					t.Fatal("request against a dead worker succeeded")
+				}
+				var se *client.ServerError
+				if errors.As(err, &se) {
+					t.Fatalf("connection drop surfaced as a protocol error: %v", err)
+				}
+			},
+		},
+	}
+	for _, tc := range transports {
+		for _, mode := range modes {
+			tc, mode := tc, mode
+			t.Run(tc.name+"/"+mode.name, func(t *testing.T) {
+				tr, drop := tc.make(t)
+				t.Cleanup(func() { tr.Close() })
+				mode.run(t, tr, drop)
+			})
+		}
+	}
+}

@@ -40,26 +40,31 @@ type workerPlan struct {
 }
 
 // Update applies a global mutation batch: the coordinator applies it to
-// its authoritative graph, computes the affected region (every node within
-// the fragmentation radius of a touched node, in the old or new graph),
-// and routes a translated local batch to only the workers whose fragments
+// its authoritative graph, journals it (when configured) before any
+// fan-out, computes the affected region (every node within the
+// fragmentation radius of a touched node, in the old or new graph), and
+// routes a translated local batch to only the workers whose fragments
 // intersect that region. Each such worker's fragment is first expanded so
 // every affected owned candidate keeps its full d-hop neighborhood
 // materialized, then its standing watches re-verify incrementally; nodes
 // the batch creates are assigned to the least-loaded worker. ClusterUpdate
 // of the ISSUE's API naming.
 //
-// A transport or worker failure mid-batch leaves the cluster partially
-// updated; the coordinator then marks itself failed and refuses further
-// requests rather than serving inconsistent answers.
+// Per fragment the batch goes to the primary first and is mirrored to
+// the warm replicas only after the primary applied it, so a primary
+// that dies mid-batch leaves every replica at the pre-batch sync point:
+// failover promotes one (or re-ships from the authoritative graph) and
+// replays the batch exactly once. Only when no session survives
+// failover does the coordinator mark itself failed and refuse further
+// requests rather than serve possibly inconsistent answers.
 func (c *Coordinator) Update(specs []server.UpdateSpec) (*UpdateResult, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("cluster: update: empty batch")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.failed != nil {
-		return nil, fmt.Errorf("cluster: coordinator failed earlier: %w", c.failed)
+	if err := c.refuseLocked(); err != nil {
+		return nil, err
 	}
 	ups, err := server.ToUpdates(specs)
 	if err != nil {
@@ -69,6 +74,15 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (*UpdateResult, error) {
 	newG, touched, err := dynamic.Apply(oldG, ups)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	// The batch is accepted: journal it before any worker sees it, so a
+	// coordinator crash during fan-out cannot lose an applied batch.
+	// A journal append failure rejects the batch with the cluster still
+	// consistent (no fragment has been touched yet).
+	if c.cfg.Journal != nil {
+		if err := c.cfg.Journal.AppendBatch(specs); err != nil {
+			return nil, fmt.Errorf("cluster: journal: %w", err)
+		}
 	}
 	affected := dynamic.AffectedWithin(oldG, newG, touched, c.cfg.D)
 
@@ -103,33 +117,44 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (*UpdateResult, error) {
 		if p == nil {
 			return nil
 		}
-		// Extend the id mapping first: response deltas use post-batch
-		// local ids.
-		for _, gv := range p.newMat {
-			w.toLocal[gv] = graph.NodeID(len(w.toGlobal))
-			w.toGlobal = append(w.toGlobal, gv)
-			w.nodes[gv] = true
-		}
 		if len(p.batch) > 0 {
-			resp, err := w.t.Do(&server.Request{Cmd: "update", Updates: p.batch})
+			req := &server.Request{Cmd: "update", Updates: p.batch}
+			// The id mapping is extended only after the primary holds
+			// the batch: failover before that point re-ships the
+			// pre-batch fragment (from oldG over the unextended id
+			// space) and replays. Response deltas use post-batch local
+			// ids, but they are translated after the fan-out, when the
+			// extension below is committed.
+			resp, err := c.sendPrimary(w, "update", req, oldG)
 			if err != nil {
-				return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+				return err
 			}
 			updDeltas[w.id] = resp.Deltas
+			for _, gv := range p.newMat {
+				w.toLocal[gv] = graph.NodeID(len(w.toGlobal))
+				w.toGlobal = append(w.toGlobal, gv)
+				w.nodes[gv] = true
+			}
+			c.mirror(w, req)
 		}
 		if len(p.assign) > 0 {
 			locals := make([]int64, len(p.assign))
 			for i, gv := range p.assign {
 				locals[i] = int64(w.toLocal[gv])
 			}
-			resp, err := w.t.Do(&server.Request{Cmd: "assign", Owned: locals})
+			req := &server.Request{Cmd: "assign", Owned: locals}
+			// A failover here re-ships the post-batch, pre-assign
+			// fragment: the id space is extended and newG is the
+			// matching sync point, while w.owned is not yet committed.
+			resp, err := c.sendPrimary(w, "assign", req, newG)
 			if err != nil {
-				return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+				return err
 			}
 			asgDeltas[w.id] = resp.Deltas
 			for _, gv := range p.assign {
 				w.owned[gv] = true
 			}
+			c.mirror(w, req)
 		}
 		return nil
 	})

@@ -16,7 +16,8 @@ import (
 //
 // Each worker maintains the answers of its owned focus candidates with a
 // restricted dynamic.Matcher, so maintenance work is sharded the same way
-// matching is.
+// matching is. Watches live only on primaries: a replica promoted by
+// failover re-registers them before serving.
 func (c *Coordinator) Watch(name string, q *core.Pattern) ([]graph.NodeID, error) {
 	if name == "" {
 		return nil, fmt.Errorf("cluster: watch: empty name")
@@ -29,10 +30,10 @@ func (c *Coordinator) Watch(name string, q *core.Pattern) ([]graph.NodeID, error
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.failed != nil {
-		return nil, fmt.Errorf("cluster: coordinator failed earlier: %w", c.failed)
+	if err := c.refuseLocked(); err != nil {
+		return nil, err
 	}
-	if c.watches[name] {
+	if _, dup := c.watches[name]; dup {
 		return nil, fmt.Errorf("cluster: watch %q already registered", name)
 	}
 	// Mirror the workers' per-session cap (server.go) before fanning out:
@@ -46,9 +47,9 @@ func (c *Coordinator) Watch(name string, q *core.Pattern) ([]graph.NodeID, error
 	merged := make(map[graph.NodeID]bool)
 	responses := make([]*server.Response, len(c.workers))
 	err := c.fanOut(func(w *worker) error {
-		resp, err := w.t.Do(&server.Request{Cmd: "watch", Watch: name, Pattern: pattern})
+		resp, err := c.sendPrimary(w, "watch", &server.Request{Cmd: "watch", Watch: name, Pattern: pattern}, c.g)
 		if err != nil {
-			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
+			return err
 		}
 		responses[w.id] = resp
 		return nil
@@ -66,7 +67,16 @@ func (c *Coordinator) Watch(name string, q *core.Pattern) ([]graph.NodeID, error
 			return nil, err
 		}
 	}
-	c.watches[name] = true
+	c.watches[name] = pattern
+	if c.cfg.Journal != nil {
+		if err := c.cfg.Journal.WatchRegistered(name, pattern); err != nil {
+			// The watch is live on every worker but not durable; a
+			// recovery would silently drop it. Fail-stop rather than
+			// diverge from the journal.
+			c.failed = fmt.Errorf("journal watch %q: %w", name, err)
+			return nil, c.failed
+		}
+	}
 	return sortedSet(merged), nil
 }
 
@@ -74,17 +84,15 @@ func (c *Coordinator) Watch(name string, q *core.Pattern) ([]graph.NodeID, error
 func (c *Coordinator) Unwatch(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.failed != nil {
-		return fmt.Errorf("cluster: coordinator failed earlier: %w", c.failed)
+	if err := c.refuseLocked(); err != nil {
+		return err
 	}
-	if !c.watches[name] {
+	if _, ok := c.watches[name]; !ok {
 		return fmt.Errorf("cluster: no watch named %q", name)
 	}
 	err := c.fanOut(func(w *worker) error {
-		if _, err := w.t.Do(&server.Request{Cmd: "unwatch", Watch: name}); err != nil {
-			return fmt.Errorf("cluster: worker %d: %w", w.id, err)
-		}
-		return nil
+		_, err := c.sendPrimary(w, "unwatch", &server.Request{Cmd: "unwatch", Watch: name}, c.g)
+		return err
 	})
 	if err != nil {
 		// Partial removal: some workers still hold the watch. Fail-stop.
@@ -92,6 +100,12 @@ func (c *Coordinator) Unwatch(name string) error {
 		return err
 	}
 	delete(c.watches, name)
+	if c.cfg.Journal != nil {
+		if err := c.cfg.Journal.WatchRemoved(name); err != nil {
+			c.failed = fmt.Errorf("journal unwatch %q: %w", name, err)
+			return c.failed
+		}
+	}
 	return nil
 }
 

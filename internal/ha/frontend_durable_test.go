@@ -1,0 +1,140 @@
+package ha
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+// startDurableFrontend wires a journal-backed front end the way
+// cmd/qgpcluster does: one durable session shared by every connection,
+// workers and replicas from a spawn pool.
+func startDurableFrontend(t *testing.T, j *Journal) (*cluster.Frontend, string) {
+	t.Helper()
+	pool := NewSpawnPool(3, server.Config{})
+	durable := &cluster.DurableState{Journal: j}
+	if j.HasState() {
+		durable.Graph = j.Graph()
+		durable.Watches = j.Watches()
+	}
+	fe := cluster.NewFrontend(cluster.FrontendConfig{
+		Cluster:    cluster.Config{D: 2, Replicas: 2, Pool: pool},
+		NewWorkers: func() ([]cluster.Transport, error) { return pool.Primaries(3) },
+		Durable:    durable,
+		Logf:       func(string, ...interface{}) {},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fe.Serve(ln)
+	return fe, ln.Addr().String()
+}
+
+func shutdownFrontend(t *testing.T, fe *cluster.Frontend) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := fe.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestDurableFrontendRestart: a journal-backed qgpcluster front end is
+// stopped and restarted over the same directory; the new process serves
+// the recovered graph and watches without any gen/load, and connections
+// share the durable session.
+func TestDurableFrontendRestart(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, addr := startDurableFrontend(t, j)
+
+	c1, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c1.Gen("social", 150, 6); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	pattern := chaosPatterns[0]
+	if _, err := c1.Watch("w", pattern); err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if _, _, err := c1.Update(
+		server.UpdateSpec{Op: "addEdge", From: 2, To: 3, Label: "follow"},
+		server.UpdateSpec{Op: "removeNode", From: 7},
+	); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+
+	// A second connection shares the durable session: it can query
+	// without running gen first.
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := c2.Match(pattern, nil)
+	if err != nil {
+		t.Fatalf("match on second connection: %v", err)
+	}
+	c1.Close()
+	c2.Close()
+	shutdownFrontend(t, fe)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same directory.
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	fe2, addr2 := startDurableFrontend(t, j2)
+	defer shutdownFrontend(t, fe2)
+
+	c3, err := client.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	post, err := c3.Match(pattern, nil)
+	if err != nil {
+		t.Fatalf("match after restart (no gen): %v", err)
+	}
+	if !reflect.DeepEqual(post.Matches, pre.Matches) {
+		t.Fatalf("recovered answers %v != pre-restart %v", post.Matches, pre.Matches)
+	}
+	// The recovered watch is live: re-registering it collides.
+	if _, err := c3.Watch("w", pattern); err == nil {
+		t.Fatal("recovered watch namespace lost: re-registering 'w' succeeded")
+	}
+	// And it still maintains deltas incrementally.
+	res, err := c3.UpdateWithDeltas(server.UpdateSpec{Op: "removeNode", From: post.Matches[0]})
+	if err != nil {
+		t.Fatalf("update after restart: %v", err)
+	}
+	found := false
+	for _, d := range res.Deltas {
+		if d.Watch != "w" {
+			continue
+		}
+		for _, v := range d.Removed {
+			if v == post.Matches[0] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("removing an answer node did not surface in the recovered watch's delta: %+v", res.Deltas)
+	}
+}

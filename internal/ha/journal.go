@@ -1,0 +1,170 @@
+package ha
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+const watchesName = "watches.json"
+
+// JournalOptions configures a Journal.
+type JournalOptions struct {
+	// Fsync makes every journaled batch durable before the coordinator
+	// fans it out. Off by default (matching store.Options).
+	Fsync bool
+}
+
+// Journal is a coordinator's durable state in one directory: the
+// authoritative graph as internal/store's snapshot + append-only
+// mutation journal, plus the standing-watch set as a small manifest
+// (watches.json, replaced atomically). It implements
+// cluster.UpdateJournal, so a coordinator built with Config.Journal set
+// records every accepted update batch before fan-out; OpenJournal on
+// the same directory after a restart recovers the graph and watches for
+// Recover to rebuild the cluster from.
+type Journal struct {
+	dir  string
+	opts JournalOptions
+
+	mu      sync.Mutex
+	st      *store.Store
+	watches map[string]string
+}
+
+// OpenJournal opens (or initializes) the journal directory, replaying
+// any existing snapshot+journal into the recovered graph.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+	st, err := store.Open(dir, store.Options{Fsync: opts.Fsync})
+	if err != nil {
+		return nil, fmt.Errorf("ha: %w", err)
+	}
+	j := &Journal{dir: dir, opts: opts, st: st, watches: make(map[string]string)}
+	b, err := os.ReadFile(filepath.Join(dir, watchesName))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh directory, or one written before any watch existed.
+	case err != nil:
+		st.Close()
+		return nil, fmt.Errorf("ha: %w", err)
+	default:
+		if err := json.Unmarshal(b, &j.watches); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("ha: watches manifest: %w", err)
+		}
+	}
+	return j, nil
+}
+
+// HasState reports whether the directory held a recoverable cluster
+// state (a non-empty graph or standing watches).
+func (j *Journal) HasState() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.NumNodes() > 0 || len(j.watches) > 0
+}
+
+// Graph returns the recovered (or current) durable graph.
+func (j *Journal) Graph() *graph.Graph {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.Graph()
+}
+
+// Watches returns a copy of the recovered (or current) standing-watch
+// set, watch name → pattern DSL.
+func (j *Journal) Watches() map[string]string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]string, len(j.watches))
+	for k, v := range j.watches {
+		out[k] = v
+	}
+	return out
+}
+
+// Recovery reports what replaying the on-disk journal found at open.
+func (j *Journal) Recovery() store.RecoveryInfo {
+	return j.st.Recovery()
+}
+
+// SetGraph replaces the durable graph wholesale (one snapshot write, no
+// per-edge journaling) and clears the watch set: a coordinator built
+// over a new graph starts with no standing watches. Implements
+// cluster.UpdateJournal.
+func (j *Journal) SetGraph(g *graph.Graph) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.st.ImportGraph(g); err != nil {
+		return err
+	}
+	j.watches = make(map[string]string)
+	return j.writeWatchesLocked()
+}
+
+// AppendBatch journals one accepted update batch. Implements
+// cluster.UpdateJournal.
+func (j *Journal) AppendBatch(specs []server.UpdateSpec) error {
+	muts, err := server.ToUpdates(specs)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.st.Apply(muts...)
+	return err
+}
+
+// WatchRegistered records a standing watch. Implements
+// cluster.UpdateJournal.
+func (j *Journal) WatchRegistered(name, pattern string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.watches[name] = pattern
+	return j.writeWatchesLocked()
+}
+
+// WatchRemoved forgets a standing watch. Implements
+// cluster.UpdateJournal.
+func (j *Journal) WatchRemoved(name string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.watches, name)
+	return j.writeWatchesLocked()
+}
+
+// Compact folds the mutation journal into a fresh snapshot.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.Compact()
+}
+
+// Close flushes and closes the underlying store.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.Close()
+}
+
+// writeWatchesLocked replaces watches.json atomically (tmp + rename),
+// mirroring the store's manifest discipline.
+func (j *Journal) writeWatchesLocked() error {
+	b, err := json.Marshal(j.watches)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(j.dir, watchesName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("ha: %w", err)
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,191 @@
+package ha
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// MonitorConfig tunes a Monitor.
+type MonitorConfig struct {
+	// Interval between supervision passes (default 2s).
+	Interval time.Duration
+	// FailureThreshold is how many consecutive failed probes declare a
+	// primary dead and trigger failover (default 2: one lost probe is
+	// tolerated as a blip, matching the usual phi-accrual-lite
+	// practice of not failing over on a single timeout).
+	FailureThreshold int
+	// OnFailover, when set, is notified after the monitor fails a
+	// fragment's primary over (err is nil on success).
+	OnFailover func(fragment int, err error)
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...interface{})
+}
+
+func (c *MonitorConfig) fill() {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 2
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+}
+
+// MonitorStats counts what a monitor has done.
+type MonitorStats struct {
+	Passes          int // supervision passes completed
+	ProbeFailures   int // primary probes that failed
+	Failovers       int // primaries replaced
+	ReplicasDropped int // dead warm replicas discarded by repair
+	ReplicasAdded   int // fresh warm replicas shipped by repair
+}
+
+// Monitor supervises a coordinator's workers: it probes every fragment
+// copy over the wire protocol's ping path on a fixed cadence, fails a
+// primary over once it misses FailureThreshold consecutive probes, and
+// repairs the replication factor after any replica loss. The probing
+// and failover mechanics live in the cluster package (Probe, FailOver,
+// Repair); the monitor is the policy loop driving them.
+type Monitor struct {
+	c   *cluster.Coordinator
+	cfg MonitorConfig
+
+	mu          sync.Mutex
+	consecutive map[int]int
+	stats       MonitorStats
+	stop        chan struct{}
+	done        chan struct{}
+}
+
+// NewMonitor returns an unstarted monitor for c. Check runs one pass
+// synchronously; Start runs passes on cfg.Interval until Stop.
+func NewMonitor(c *cluster.Coordinator, cfg MonitorConfig) *Monitor {
+	cfg.fill()
+	return &Monitor{c: c, cfg: cfg, consecutive: make(map[int]int)}
+}
+
+// Start launches the supervision loop. The loop exits on Stop or once
+// the coordinator reports itself closed or failed.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stop != nil {
+		return
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	go m.loop(m.stop, m.done)
+}
+
+// Stop halts the supervision loop and waits for an in-flight pass.
+// Safe to call without Start and more than once.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Stats returns what the monitor has done so far.
+func (m *Monitor) Stats() MonitorStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *Monitor) loop(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(m.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			if err := m.Check(); errors.Is(err, ErrUnsupervisable) {
+				m.cfg.Logf("ha: monitor: coordinator gone, stopping: %v", err)
+				return
+			}
+		}
+	}
+}
+
+// ErrUnsupervisable is returned by Check when the coordinator refuses
+// supervision (closed, or fail-stopped beyond what failover can fix);
+// the loop stops on it.
+var ErrUnsupervisable = errors.New("ha: coordinator is not supervisable")
+
+// Check runs one supervision pass: probe every fragment copy, fail over
+// primaries past the consecutive-failure threshold, and restore the
+// replication factor if any replica was lost. It is the unit the Start
+// loop runs; tests drive it directly for determinism.
+func (m *Monitor) Check() error {
+	results, err := m.c.Probe()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnsupervisable, err)
+	}
+	needRepair := false
+	for _, pr := range results {
+		if pr.Primary == nil {
+			m.mu.Lock()
+			m.consecutive[pr.Fragment] = 0
+			m.mu.Unlock()
+		} else {
+			m.mu.Lock()
+			m.consecutive[pr.Fragment]++
+			m.stats.ProbeFailures++
+			trip := m.consecutive[pr.Fragment] >= m.cfg.FailureThreshold
+			m.mu.Unlock()
+			m.cfg.Logf("ha: monitor: fragment %d probe failed: %v", pr.Fragment, pr.Primary)
+			if trip {
+				ferr := m.c.FailOver(pr.Fragment)
+				m.mu.Lock()
+				if ferr == nil {
+					// A failed FailOver (pool exhausted) keeps the
+					// counter tripped, so the very next pass retries
+					// instead of waiting out the threshold again.
+					m.consecutive[pr.Fragment] = 0
+					m.stats.Failovers++
+				}
+				m.mu.Unlock()
+				if ferr != nil {
+					m.cfg.Logf("ha: monitor: fragment %d failover: %v", pr.Fragment, ferr)
+				}
+				if m.cfg.OnFailover != nil {
+					m.cfg.OnFailover(pr.Fragment, ferr)
+				}
+				needRepair = true
+			}
+		}
+		for _, rerr := range pr.Replicas {
+			if rerr != nil {
+				needRepair = true
+			}
+		}
+	}
+	if needRepair {
+		rep, rerr := m.c.Repair()
+		m.mu.Lock()
+		m.stats.ReplicasDropped += rep.Dropped
+		m.stats.ReplicasAdded += rep.Added
+		m.mu.Unlock()
+		if rerr != nil {
+			m.cfg.Logf("ha: monitor: repair: %v", rerr)
+		}
+	}
+	m.mu.Lock()
+	m.stats.Passes++
+	m.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,57 @@
+package ha
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// Recover rebuilds a journaled cluster after a coordinator restart: the
+// graph recovered from j's snapshot+journal is re-fragmented across
+// `workers` fresh primary sessions from the pool (replica shipping and
+// failover come from cfg.Replicas as usual), and every recovered
+// standing watch is re-registered, so the rebuilt cluster serves the
+// same answers and deltas the lost one would have. cfg.Pool and
+// cfg.Journal are overwritten with pool and j; the returned coordinator
+// owns its worker sessions (Close releases them).
+func Recover(j *Journal, pool *Pool, workers int, cfg cluster.Config) (*cluster.Coordinator, error) {
+	g := j.Graph()
+	// Snapshot the watch set first: cluster.New re-imports the graph
+	// into the journal, which resets its durable watch set until the
+	// re-registrations below land.
+	watches := j.Watches()
+	ts, err := pool.Primaries(workers)
+	if err != nil {
+		return nil, fmt.Errorf("ha: recover: %w", err)
+	}
+	cfg.Pool = pool
+	cfg.Journal = j
+	c, err := cluster.New(g, ts, cfg)
+	if err != nil {
+		cluster.CloseAll(ts)
+		return nil, fmt.Errorf("ha: recover: %w", err)
+	}
+	for _, name := range sortedNames(watches) {
+		q, err := core.Parse(watches[name])
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("ha: recover watch %q: %w", name, err)
+		}
+		if _, err := c.Watch(name, q); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("ha: recover watch %q: %w", name, err)
+		}
+	}
+	return c, nil
+}
+
+func sortedNames(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

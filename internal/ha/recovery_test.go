@@ -1,0 +1,187 @@
+package ha
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+// TestJournalRecovery is the recovery acceptance criterion: a journaled
+// coordinator is stopped and rebuilt from snapshot+journal; the
+// re-fragmented cluster (even across a different worker count) answers
+// every pattern exactly as the pre-restart cluster did, standing
+// watches survive, and incremental maintenance continues from the
+// recovered state.
+func TestJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewSpawnPool(3, server.Config{})
+	ts, err := pool.Primaries(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Social(gen.DefaultSocial(200, 41))
+	c, err := cluster.New(g, ts, cluster.Config{D: 2, Pool: pool, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q0, q1 := mustParse(t, chaosPatterns[0]), mustParse(t, chaosPatterns[1])
+	if _, err := c.Watch("w0", q0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Watch("doomed", q1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Watch("w1", q1); err != nil {
+		t.Fatal(err)
+	}
+	// Unwatch must be durable too: "doomed" must not resurrect.
+	if err := c.Unwatch("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]server.UpdateSpec{
+		{{Op: "addEdge", From: 3, To: 17, Label: "follow"}, {Op: "removeNode", From: 9}},
+		{{Op: "addNode", Label: "person"}, {Op: "addEdge", From: 200, To: 5, Label: "follow"}},
+		{{Op: "removeEdge", From: 3, To: 17, Label: "follow"}, {Op: "addEdge", From: 11, To: 12, Label: "follow"}},
+	}
+	for i, specs := range batches {
+		if _, err := c.Update(specs); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+
+	// Record the pre-restart observable state, then stop everything.
+	preGraph := c.Graph()
+	preWatches := c.Watches()
+	preAnswers := make(map[string][]int64)
+	for _, dsl := range chaosPatterns {
+		res, err := c.Match(mustParse(t, dsl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Matches {
+			preAnswers[dsl] = append(preAnswers[dsl], int64(v))
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: replay snapshot+journal, re-fragment across a DIFFERENT
+	// worker count, re-ship, re-register watches.
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.HasState() {
+		t.Fatal("journal directory reports no recoverable state")
+	}
+	pool2 := NewSpawnPool(4, server.Config{})
+	c2, err := Recover(j2, pool2, 4, cluster.Config{D: 2, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	if got := c2.Graph(); got.NumNodes() != preGraph.NumNodes() || got.NumEdges() != preGraph.NumEdges() {
+		t.Fatalf("recovered graph %d/%d != pre-restart %d/%d",
+			got.NumNodes(), got.NumEdges(), preGraph.NumNodes(), preGraph.NumEdges())
+	}
+	if got := c2.Watches(); !reflect.DeepEqual(got, preWatches) {
+		t.Fatalf("recovered watches %v != pre-restart %v", got, preWatches)
+	}
+	for _, dsl := range chaosPatterns {
+		res, err := c2.Match(mustParse(t, dsl))
+		if err != nil {
+			t.Fatalf("recovered Match: %v", err)
+		}
+		got := make([]int64, 0, len(res.Matches))
+		for _, v := range res.Matches {
+			got = append(got, int64(v))
+		}
+		if !reflect.DeepEqual(got, append([]int64(nil), preAnswers[dsl]...)) {
+			t.Errorf("pattern %q: recovered answers %v != pre-restart %v", dsl, got, preAnswers[dsl])
+		}
+	}
+
+	// Incremental maintenance continues exactly from the recovered
+	// state: the next batch's deltas equal a fresh oracle's.
+	oracle, err := dynamic.NewMatcher(c2.Graph(), q0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []server.UpdateSpec{
+		{Op: "addEdge", From: 20, To: 21, Label: "follow"},
+		{Op: "removeNode", From: 40},
+	}
+	res, err := c2.Update(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups, _ := server.ToUpdates(specs)
+	want, err := oracle.Apply(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Deltas {
+		if d.Watch != "w0" {
+			continue
+		}
+		if !sameIDs(d.Added, want.Added) || !sameIDs(d.Removed, want.Removed) {
+			t.Fatalf("post-recovery delta +%v -%v != oracle +%v -%v", d.Added, d.Removed, want.Added, want.Removed)
+		}
+	}
+}
+
+// TestJournalWatchManifest: the watch manifest round-trips and SetGraph
+// clears it (a new graph starts with no standing watches).
+func TestJournalWatchManifest(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.HasState() {
+		t.Fatal("fresh journal claims state")
+	}
+	if err := j.WatchRegistered("a", "pat-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WatchRegistered("b", "pat-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WatchRemoved("a"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Watches(); !reflect.DeepEqual(got, map[string]string{"b": "pat-b"}) {
+		t.Fatalf("recovered watches = %v", got)
+	}
+	if !j2.HasState() {
+		t.Fatal("journal with watches claims no state")
+	}
+	if err := j2.SetGraph(gen.Social(gen.DefaultSocial(30, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.Watches(); len(got) != 0 {
+		t.Fatalf("watches survived SetGraph: %v", got)
+	}
+}

@@ -36,3 +36,27 @@ func TestOwnerMap(t *testing.T) {
 		}
 	}
 }
+
+// TestOwnedCounts: the placement-load view agrees with the fragments
+// and covers the whole graph.
+func TestOwnedCounts(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(200, 2))
+	p, err := DPar(g, Config{Workers: 3, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := p.OwnedCounts()
+	if len(counts) != 3 {
+		t.Fatalf("OwnedCounts has %d entries, want 3", len(counts))
+	}
+	total := 0
+	for i, n := range counts {
+		if n != len(p.Fragments[i].Owned) {
+			t.Fatalf("worker %d: OwnedCounts %d != fragment owned %d", i, n, len(p.Fragments[i].Owned))
+		}
+		total += n
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("owned counts sum to %d, graph has %d nodes", total, g.NumNodes())
+	}
+}

@@ -185,6 +185,18 @@ func (p *Partition) OwnerMap() []int {
 	return owner
 }
 
+// OwnedCounts returns each fragment's owned-node count, indexed by
+// worker. This is the per-fragment answering load the partition assigned
+// — the cluster layer uses it as the placement weight when choosing
+// which pool endpoints host a fragment's replicas.
+func (p *Partition) OwnedCounts() []int {
+	counts := make([]int, len(p.Fragments))
+	for i, f := range p.Fragments {
+		counts[i] = len(f.Owned)
+	}
+	return counts
+}
+
 // Skew returns min fragment size / max fragment size in (0, 1]; the paper
 // reports ≥ 0.8 at n = 8. Empty fragments yield 0.
 func (p *Partition) Skew() float64 {

@@ -15,7 +15,8 @@ import (
 //
 // Commands:
 //
-//	ping      — liveness check
+//	ping      — liveness check; also reports fragment state (node/owned
+//	            counts) so cluster supervision can verify worker health
 //	gen       — generate a synthetic graph into the session
 //	load      — load a graph from inline text (graph DSL or JSON document)
 //	update    — apply a mutation batch to the session graph
@@ -122,8 +123,13 @@ type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
 
-	// ping
-	Pong bool `json:"pong,omitempty"`
+	// ping: Pong is always set; a session holding a cluster fragment
+	// additionally reports Fragment with its owned-candidate count (and
+	// Nodes/Edges above), so supervision probes can verify a worker
+	// still holds the state the coordinator expects.
+	Pong     bool `json:"pong,omitempty"`
+	Fragment bool `json:"fragment,omitempty"`
+	Owned    int  `json:"ownedCount,omitempty"`
 
 	// gen / load
 	Nodes int `json:"nodes,omitempty"`

@@ -270,6 +270,16 @@ func (s *Server) handle(sess *session, req *Request) Response {
 	switch req.Cmd {
 	case "ping":
 		resp.Pong = true
+		// A ping also reports the session's fragment state, so a
+		// cluster supervisor probing over this path can tell a healthy
+		// worker from one that restarted blank or lost its fragment.
+		if sess.g != nil {
+			resp.Nodes, resp.Edges = sess.g.NumNodes(), sess.g.NumEdges()
+		}
+		if sess.owned != nil {
+			resp.Fragment = true
+			resp.Owned = len(sess.owned)
+		}
 	case "gen", "load":
 		err = s.handleGraph(sess, req, &resp)
 	case "update":
