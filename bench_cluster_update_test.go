@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/gen"
+	"repro/internal/ha"
 	"repro/internal/server"
 )
 
@@ -92,6 +93,33 @@ func BenchmarkClusterUpdate(b *testing.B) {
 			record[fmt.Sprintf("cluster%d_ns_per_op", workers)] = avgNs(b)
 		})
 	}
+
+	// k=2 replication: the combined batch is mirrored to each fragment's
+	// warm replica after the primary acks; mirrors of different fragments
+	// (and replicas of one fragment) run concurrently, so the replicated
+	// number tracks the k=1 one instead of doubling it.
+	b.Run("workers=2,replicas=2", func(b *testing.B) {
+		pool := ha.NewSpawnPool(4, server.Config{})
+		ts, err := pool.Primaries(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := cluster.New(g, ts, cluster.Config{D: 2, Replicas: 2, Pool: pool})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Watch("w", q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Update(batchFor(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		record["cluster2_replicated_ns_per_op"] = avgNs(b)
+	})
 
 	if os.Getenv("QGP_BENCH_RECORD") != "" {
 		b.StopTimer()

@@ -54,6 +54,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "copies of each fragment (k); k-1 warm replicas back every primary")
 	journalDir := flag.String("journal", "", "directory for the snapshot+journal; existing state is recovered at startup and the front end serves one durable session shared by all connections")
 	fsync := flag.Bool("fsync", false, "fsync every journaled update batch before fanning it out")
+	compactBytes := flag.Int64("compact-bytes", 16<<20, "fold the mutation journal into a fresh snapshot once it exceeds this many bytes (0 = compact only at startup)")
 	supervise := flag.Duration("supervise", 0, "probe workers this often and fail dead ones over (0 = failover only when an operation trips)")
 	maxGraph := flag.Int("max-graph", 50_000_000, "maximum session graph size (|V|+|E|)")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "close idle front-end connections after this long")
@@ -106,7 +107,7 @@ func main() {
 	var journal *ha.Journal
 	if *journalDir != "" {
 		var err error
-		journal, err = ha.OpenJournal(*journalDir, ha.JournalOptions{Fsync: *fsync})
+		journal, err = ha.OpenJournal(*journalDir, ha.JournalOptions{Fsync: *fsync, CompactBytes: *compactBytes})
 		if err != nil {
 			log.Fatalf("qgpcluster: %v", err)
 		}

@@ -146,14 +146,27 @@ func TestUpdateRouting(t *testing.T) {
 
 	// An update touching both islands must contact both workers.
 	res, err = c.Update([]server.UpdateSpec{
-		{Op: "addEdge", From: 3, To: 4, Label: "follow"},
-		{Op: "addEdge", From: 40, To: 41, Label: "follow"},
+		{Op: "addEdge", From: 3, To: 5, Label: "follow"},
+		{Op: "addEdge", From: 40, To: 42, Label: "follow"},
 	})
 	if err != nil {
 		t.Fatalf("Update: %v", err)
 	}
 	if len(res.Contacted) != 2 {
 		t.Fatalf("update in both islands contacted workers %v, want both", res.Contacted)
+	}
+
+	// A no-op batch (re-adding existing edges) changes no fragment mirror
+	// and no answer, so nobody is spoken to at all.
+	res, err = c.Update([]server.UpdateSpec{
+		{Op: "addEdge", From: 3, To: 5, Label: "follow"},
+		{Op: "addEdge", From: 40, To: 42, Label: "follow"},
+	})
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if len(res.Contacted) != 0 {
+		t.Fatalf("no-op update contacted workers %v, want none", res.Contacted)
 	}
 }
 

@@ -375,6 +375,13 @@ func (f *Frontend) handleUpdate(sess *feSession, req *server.Request, resp *serv
 	if sess.coord == nil {
 		return errNoCluster
 	}
+	// The combined-batch fields are coordinator→worker routing, not
+	// client vocabulary: the coordinator computes assignment and the
+	// affected set itself. Reject rather than silently drop them, as
+	// with the other worker-only commands.
+	if len(req.Owned) > 0 || req.Scoped || len(req.Affected) > 0 {
+		return fmt.Errorf("update fields owned/scoped/affected are not served by the cluster front end; the coordinator computes routing itself")
+	}
 	res, err := sess.coord.Update(req.Updates)
 	if err != nil {
 		return err

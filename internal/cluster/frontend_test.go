@@ -135,3 +135,27 @@ func TestFrontendNoGraph(t *testing.T) {
 		t.Fatal("match before gen succeeded")
 	}
 }
+
+// TestFrontendRejectsWorkerRouting: the combined-batch routing fields
+// (owned/scoped/affected) are coordinator→worker vocabulary; a client
+// sending them to the front end gets an explicit error, not silently
+// dropped assignment.
+func TestFrontendRejectsWorkerRouting(t *testing.T) {
+	c := startFrontend(t, 2)
+	if _, _, err := c.Gen("social", 100, 3); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	for name, req := range map[string]*server.Request{
+		"owned":    {Cmd: "update", Updates: []server.UpdateSpec{{Op: "addNode", Label: "person"}}, Owned: []int64{0}},
+		"scoped":   {Cmd: "update", Updates: []server.UpdateSpec{{Op: "addNode", Label: "person"}}, Scoped: true},
+		"affected": {Cmd: "update", Updates: []server.UpdateSpec{{Op: "addNode", Label: "person"}}, Affected: []int64{0}},
+	} {
+		if _, err := c.Do(req); err == nil {
+			t.Errorf("update with %s field succeeded at the front end", name)
+		}
+	}
+	// A plain update on the same connection still works.
+	if _, _, err := c.Update(server.UpdateSpec{Op: "addNode", Label: "person"}); err != nil {
+		t.Fatalf("plain update after rejections: %v", err)
+	}
+}

@@ -14,11 +14,15 @@ package cluster
 //     re-shipping Induced(state, w.toGlobal) reproduces the exact local
 //     id space of the lost session — answer merging and standing-watch
 //     deltas keep working unchanged.
-//   - Update and assign batches reach replicas only after the primary
-//     applied them, so when a primary dies mid-batch every warm replica
-//     is still at the pre-batch sync point: promoting one and replaying
-//     the batch neither loses nor double-applies mutations (addNode is
-//     not idempotent, so this ordering is load-bearing).
+//   - A combined update batch (mutations + assigned nodes + affected
+//     set, one request per contacted worker) reaches replicas only
+//     after the primary applied it, so when a primary dies mid-batch
+//     every warm replica is still at the pre-batch sync point:
+//     promoting one and replaying the batch neither loses nor
+//     double-applies mutations (addNode is not idempotent, so this
+//     ordering is load-bearing). Mirroring fans out to the replicas
+//     concurrently — they are ordered after the primary, not after each
+//     other.
 //   - Warm replicas carry no standing watches; promotion registers them
 //     (at the promoted session's current sync point) before the failed
 //     operation is retried, so the retried batch reports exactly the
@@ -29,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/client"
 	"repro/internal/graph"
@@ -200,14 +205,46 @@ func (w *worker) occupiedEndpoints() map[int]bool {
 }
 
 // mirror forwards a state-changing request the primary has applied to
-// every warm replica. A replica that fails to apply it is no longer a
-// faithful mirror and is dropped (Repair recruits a replacement); the
-// primary's result stands either way.
+// every warm replica, concurrently: replicas only ever wait on the
+// primary, not on each other, so k-way replication adds one replica
+// round trip of latency instead of k-1. A replica that fails to apply
+// the request is no longer a faithful mirror and is dropped (Repair
+// recruits a replacement); the primary's result stands either way.
 func (c *Coordinator) mirror(w *worker, req *server.Request) {
+	switch len(w.replicas) {
+	case 0:
+		return
+	case 1:
+		// No fan-out to overlap; skip the goroutine machinery.
+		if _, err := w.replicas[0].t.Do(req); err != nil {
+			w.replicas[0].t.Close()
+			w.replicas = w.replicas[:0]
+			w.dropped++
+		}
+		return
+	}
+	ok := make([]bool, len(w.replicas))
+	var wg sync.WaitGroup
+	for i, r := range w.replicas {
+		wg.Add(1)
+		go func(i int, r *replica) {
+			defer wg.Done()
+			// Each goroutine sends its own shallow copy: client.Do stamps
+			// the request's ID in place, so sharing one Request across
+			// concurrent sends is a data race (the slices inside are
+			// read-only and safely shared).
+			cp := *req
+			if _, err := r.t.Do(&cp); err != nil {
+				r.t.Close()
+				return
+			}
+			ok[i] = true
+		}(i, r)
+	}
+	wg.Wait()
 	kept := w.replicas[:0]
-	for _, r := range w.replicas {
-		if _, err := r.t.Do(req); err != nil {
-			r.t.Close()
+	for i, r := range w.replicas {
+		if !ok[i] {
 			w.dropped++
 			continue
 		}

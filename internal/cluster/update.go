@@ -16,42 +16,58 @@ type UpdateResult struct {
 	// Deltas are the merged per-watch answer changes, in global node ids,
 	// one entry per standing watch that changed or was re-verified
 	// anywhere. Affected sums the workers' re-verified candidate counts;
-	// it can be smaller than the single-process count because a worker
-	// skips candidates whose materialized neighborhood provably did not
-	// change.
+	// workers re-verify exactly the coordinator-computed affected set
+	// restricted to their owned candidates, so the sum tracks the
+	// single-process count within the fragmentation radius (it can exceed
+	// the single-process number when a watch's pattern needs fewer hops
+	// than the fragmentation preserves).
 	Deltas []server.WatchDelta
 	// Contacted lists the workers (ascending id) that received traffic:
-	// exactly those whose fragments contain affected nodes or were
-	// assigned a node the batch created. The others were not spoken to —
-	// the paper's "coordinator Sc assigns the changes to each fragment"
-	// routing (§5.2).
+	// exactly those whose fragment mirrors changed, whose owned candidates
+	// need re-verification, or that were assigned a node the batch
+	// created. The others were not spoken to — the paper's "coordinator Sc
+	// assigns the changes to each fragment" routing (§5.2).
 	Contacted []int
 }
 
-// workerPlan is the update traffic computed for one worker: the local
-// mutation batch keeping its fragment mirror equal to the induced subgraph
-// of the new global graph, the globals it newly materializes (local ids
-// follow its current id space, in order), and the new nodes it will own.
+// workerPlan is the update traffic computed for one worker, coalesced
+// into what becomes a single wire request: the local mutation batch
+// keeping its fragment mirror equal to the induced subgraph of the new
+// global graph, the globals it newly materializes (local ids follow its
+// current id space, in order), the new nodes it will own (as post-batch
+// local ids), and the owned candidates the coordinator determined need
+// re-verification (pre-batch local ids).
 type workerPlan struct {
-	w      *worker
-	batch  []server.UpdateSpec
-	newMat []graph.NodeID
-	assign []graph.NodeID
+	batch    []server.UpdateSpec
+	newMat   []graph.NodeID
+	assign   []graph.NodeID // global ids, for owned-set bookkeeping
+	assignL  []int64        // the same nodes as post-batch local ids
+	affected []int64        // owned ∩ global affected set, local ids
+}
+
+// empty reports whether the plan carries no traffic at all.
+func (p *workerPlan) empty() bool {
+	return len(p.batch) == 0 && len(p.assignL) == 0
 }
 
 // Update applies a global mutation batch: the coordinator applies it to
 // its authoritative graph, journals it (when configured) before any
 // fan-out, computes the affected region (every node within the
 // fragmentation radius of a touched node, in the old or new graph), and
-// routes a translated local batch to only the workers whose fragments
-// intersect that region. Each such worker's fragment is first expanded so
-// every affected owned candidate keeps its full d-hop neighborhood
-// materialized, then its standing watches re-verify incrementally; nodes
-// the batch creates are assigned to the least-loaded worker. ClusterUpdate
-// of the ISSUE's API naming.
+// routes one combined wire batch to only the workers whose fragments
+// intersect that region — local mutations, newly assigned owned nodes,
+// and the affected set restricted to the worker's owned candidates all
+// travel in a single request, so routing a batch costs one round trip
+// per contacted worker. Workers re-verify exactly the carried affected
+// set instead of re-expanding the local batch (which materialization
+// traffic would inflate far beyond the globally affected region).
+// ClusterUpdate of the ISSUE's API naming.
 //
-// Per fragment the batch goes to the primary first and is mirrored to
-// the warm replicas only after the primary applied it, so a primary
+// The fan-out is pipelined: per-worker planning, serialization and I/O
+// run concurrently across workers (each plan touches only its own
+// worker's state), and replica mirroring fans out concurrently once the
+// primary acks. Per fragment the batch still reaches the primary first
+// and the warm replicas only after the primary applied it, so a primary
 // that dies mid-batch leaves every replica at the pre-batch sync point:
 // failover promotes one (or re-ships from the authoritative graph) and
 // replays the batch exactly once. Only when no session survives
@@ -103,59 +119,46 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (*UpdateResult, error) {
 		ownedCount[best]++
 	}
 
-	plans := make([]*workerPlan, len(c.workers))
-	for i, w := range c.workers {
-		plans[i] = c.planFor(w, oldG, newG, touched, affected, assignTo)
-	}
-
-	// Execute the non-empty plans, one goroutine per worker. Each plan
-	// touches only its own worker's state.
+	// Plan and execute concurrently, one goroutine per worker: planning
+	// reads only shared immutable inputs plus the worker's own state, so
+	// computing it inside the fan-out overlaps the planning of one worker
+	// with the serialization and I/O of another.
+	contacted := make([]bool, len(c.workers))
 	updDeltas := make([][]server.WatchDelta, len(c.workers))
-	asgDeltas := make([][]server.WatchDelta, len(c.workers))
 	err = c.fanOut(func(w *worker) error {
-		p := plans[w.id]
-		if p == nil {
+		p := c.planFor(w, oldG, newG, touched, affected, assignTo)
+		if p == nil || p.empty() {
 			return nil
 		}
-		if len(p.batch) > 0 {
-			req := &server.Request{Cmd: "update", Updates: p.batch}
-			// The id mapping is extended only after the primary holds
-			// the batch: failover before that point re-ships the
-			// pre-batch fragment (from oldG over the unextended id
-			// space) and replays. Response deltas use post-batch local
-			// ids, but they are translated after the fan-out, when the
-			// extension below is committed.
-			resp, err := c.sendPrimary(w, "update", req, oldG)
-			if err != nil {
-				return err
-			}
-			updDeltas[w.id] = resp.Deltas
-			for _, gv := range p.newMat {
-				w.toLocal[gv] = graph.NodeID(len(w.toGlobal))
-				w.toGlobal = append(w.toGlobal, gv)
-				w.nodes[gv] = true
-			}
-			c.mirror(w, req)
+		contacted[w.id] = true
+		req := &server.Request{
+			Cmd:      "update",
+			Updates:  p.batch,
+			Owned:    p.assignL,
+			Scoped:   true,
+			Affected: p.affected,
 		}
-		if len(p.assign) > 0 {
-			locals := make([]int64, len(p.assign))
-			for i, gv := range p.assign {
-				locals[i] = int64(w.toLocal[gv])
-			}
-			req := &server.Request{Cmd: "assign", Owned: locals}
-			// A failover here re-ships the post-batch, pre-assign
-			// fragment: the id space is extended and newG is the
-			// matching sync point, while w.owned is not yet committed.
-			resp, err := c.sendPrimary(w, "assign", req, newG)
-			if err != nil {
-				return err
-			}
-			asgDeltas[w.id] = resp.Deltas
-			for _, gv := range p.assign {
-				w.owned[gv] = true
-			}
-			c.mirror(w, req)
+		// The id mapping is extended only after the primary holds the
+		// batch: failover before that point re-ships the pre-batch
+		// fragment (from oldG over the unextended id space) and replays
+		// the whole combined request — updates and assignment apply
+		// exactly once. Response deltas use post-batch local ids; they
+		// are translated after the fan-out, when the extension below is
+		// committed.
+		resp, err := c.sendPrimary(w, "update", req, oldG)
+		if err != nil {
+			return err
 		}
+		updDeltas[w.id] = resp.Deltas
+		for _, gv := range p.newMat {
+			w.toLocal[gv] = graph.NodeID(len(w.toGlobal))
+			w.toGlobal = append(w.toGlobal, gv)
+			w.nodes[gv] = true
+		}
+		for _, gv := range p.assign {
+			w.owned[gv] = true
+		}
+		c.mirror(w, req)
 		return nil
 	})
 	if err != nil {
@@ -165,12 +168,12 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (*UpdateResult, error) {
 	c.g = newG
 
 	out := &UpdateResult{Nodes: newG.NumNodes(), Edges: newG.NumEdges()}
-	for i, p := range plans {
-		if p != nil {
+	for i, hit := range contacted {
+		if hit {
 			out.Contacted = append(out.Contacted, i)
 		}
 	}
-	merged, err := c.mergeDeltas(updDeltas, asgDeltas)
+	merged, err := c.mergeDeltas(updDeltas)
 	if err != nil {
 		c.failed = err
 		return nil, err
@@ -208,14 +211,57 @@ func (c *Coordinator) planFor(w *worker, oldG, newG *graph.Graph, touched, affec
 		return nil
 	}
 
-	// Expansion: materialize the new-graph d-hop neighborhood of every
-	// affected owned candidate and of every newly assigned node (Lemma
-	// 9(1) needs the full neighborhood for fragment-local exactness).
+	// Expansion: every affected owned candidate and every newly assigned
+	// node must keep its full new-graph d-hop neighborhood materialized
+	// (Lemma 9(1) needs the full neighborhood for fragment-local
+	// exactness). The fragment invariant — a root's old-graph
+	// neighborhood is already materialized — bounds what can be missing:
+	// a node newly within d hops of a root reached it through an inserted
+	// edge or node, i.e. through a touched node, so it lies in the
+	// affected region itself. The candidate pool is therefore the
+	// non-materialized slice of the affected set, and since undirected
+	// d-hop membership is symmetric, the work is one neighborhood
+	// expansion per element of the *smaller* side: from each pool node
+	// asking "is a root within d hops?" when the pool is small (the
+	// steady state, where it is empty — the old always-expand-every-root
+	// code was the planner's measured hot spot), or from each root
+	// asking "which pool nodes are within d hops?" when a multi-region
+	// batch makes the pool large while this worker has few roots.
 	needed := make(map[graph.NodeID]bool)
-	for _, root := range append(append([]graph.NodeID(nil), roots...), assign...) {
-		for _, u := range newG.Neighborhood(root, c.cfg.D) {
+	if len(roots)+len(assign) > 0 {
+		var pool []graph.NodeID
+		for _, u := range affected {
 			if !w.nodes[u] {
-				needed[u] = true
+				pool = append(pool, u)
+			}
+		}
+		if len(pool) <= len(roots)+len(assign) {
+			rootSet := make(map[graph.NodeID]bool, len(roots)+len(assign))
+			for _, v := range roots {
+				rootSet[v] = true
+			}
+			for _, v := range assign {
+				rootSet[v] = true
+			}
+			for _, u := range pool {
+				for _, r := range newG.Neighborhood(u, c.cfg.D) {
+					if rootSet[r] {
+						needed[u] = true
+						break
+					}
+				}
+			}
+		} else if len(pool) > 0 {
+			inPool := make(map[graph.NodeID]bool, len(pool))
+			for _, u := range pool {
+				inPool[u] = true
+			}
+			for _, root := range append(append([]graph.NodeID(nil), roots...), assign...) {
+				for _, u := range newG.Neighborhood(root, c.cfg.D) {
+					if inPool[u] {
+						needed[u] = true
+					}
+				}
 			}
 		}
 	}
@@ -316,7 +362,20 @@ func (c *Coordinator) planFor(w *worker, oldG, newG *graph.Graph, touched, affec
 			Label: k.label,
 		})
 	}
-	return &workerPlan{w: w, batch: batch, newMat: newMat, assign: assign}
+
+	assignL := make([]int64, len(assign))
+	for i, gv := range assign {
+		assignL[i] = int64(localOf(gv))
+	}
+	// The re-verification scope: the worker's owned share of the global
+	// affected set, in its (pre-batch, since owned nodes are always
+	// already materialized) local ids. Newly assigned nodes are excluded —
+	// the assignment itself evaluates them.
+	affectedL := make([]int64, len(roots))
+	for i, gv := range roots {
+		affectedL[i] = int64(w.toLocal[gv])
+	}
+	return &workerPlan{batch: batch, newMat: newMat, assign: assign, assignL: assignL, affected: affectedL}
 }
 
 func hasEdge(g *graph.Graph, from, to graph.NodeID, label string) bool {
@@ -327,31 +386,31 @@ func hasEdge(g *graph.Graph, from, to graph.NodeID, label string) bool {
 	return g.HasEdge(from, to, l)
 }
 
-// mergeDeltas folds the workers' local watch deltas into global per-watch
-// deltas: added/removed sets are disjoint unions (ownership partitions the
-// nodes), affected counts sum.
-func (c *Coordinator) mergeDeltas(deltaSets ...[][]server.WatchDelta) ([]server.WatchDelta, error) {
+// mergeDeltas folds the workers' local watch deltas (indexed by worker
+// id; a worker's response may carry several entries per watch, e.g. a
+// re-verification delta and an assignment delta) into global per-watch
+// deltas: added/removed sets are disjoint unions (ownership partitions
+// the nodes), affected counts sum.
+func (c *Coordinator) mergeDeltas(byWorker [][]server.WatchDelta) ([]server.WatchDelta, error) {
 	type acc struct {
 		added, removed map[graph.NodeID]bool
 		affected       int
 	}
 	byWatch := make(map[string]*acc)
-	for _, set := range deltaSets {
-		for wid, deltas := range set {
-			w := c.workers[wid]
-			for _, d := range deltas {
-				a := byWatch[d.Watch]
-				if a == nil {
-					a = &acc{added: make(map[graph.NodeID]bool), removed: make(map[graph.NodeID]bool)}
-					byWatch[d.Watch] = a
-				}
-				a.affected += d.Affected
-				if err := w.mergeGlobal(d.Added, a.added); err != nil {
-					return nil, err
-				}
-				if err := w.mergeGlobal(d.Removed, a.removed); err != nil {
-					return nil, err
-				}
+	for wid, deltas := range byWorker {
+		w := c.workers[wid]
+		for _, d := range deltas {
+			a := byWatch[d.Watch]
+			if a == nil {
+				a = &acc{added: make(map[graph.NodeID]bool), removed: make(map[graph.NodeID]bool)}
+				byWatch[d.Watch] = a
+			}
+			a.affected += d.Affected
+			if err := w.mergeGlobal(d.Added, a.added); err != nil {
+				return nil, err
+			}
+			if err := w.mergeGlobal(d.Removed, a.removed); err != nil {
+				return nil, err
 			}
 		}
 	}

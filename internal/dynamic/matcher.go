@@ -144,9 +144,36 @@ func (m *Matcher) Apply(ups []Update) (Delta, error) {
 	if err != nil {
 		return Delta{}, err
 	}
-	affected := AffectedWithin(m.g, newG, touched, m.hops)
+	return m.ApplyShared(newG, touched)
+}
+
+// ApplyShared maintains the answers for a batch the caller already
+// applied: newG and touched are the results of dynamic.Apply over the
+// matcher's current graph. A holder of several matchers over one graph
+// (a server session with many standing watches) applies the batch once
+// and shares the result, instead of rebuilding the graph per watch.
+func (m *Matcher) ApplyShared(newG *graph.Graph, touched []graph.NodeID) (Delta, error) {
+	return m.reverify(newG, AffectedWithin(m.g, newG, touched, m.hops))
+}
+
+// ApplyScoped maintains the answers for a batch the caller already
+// applied, re-verifying exactly the given candidates (intersected with
+// the matcher's focus restriction). The caller must guarantee affected
+// is a superset of the focus candidates whose m.Hops()-neighborhood the
+// batch changed — a cluster worker gets this set from the coordinator,
+// which computes it once on the global graph within the fragmentation
+// radius d >= Hops(), so the worker does not re-expand the batch
+// locally (where fragment materialization traffic would inflate it).
+func (m *Matcher) ApplyScoped(newG *graph.Graph, affected []graph.NodeID) (Delta, error) {
+	return m.reverify(newG, affected)
+}
+
+// reverify re-evaluates the given candidates over newG and splices the
+// result into the cached answer set, committing newG as the matcher's
+// graph.
+func (m *Matcher) reverify(newG *graph.Graph, affected []graph.NodeID) (Delta, error) {
 	if m.restrict != nil {
-		kept := affected[:0]
+		kept := make([]graph.NodeID, 0, len(affected))
 		for _, v := range affected {
 			if m.restrict[v] {
 				kept = append(kept, v)

@@ -20,6 +20,15 @@ type JournalOptions struct {
 	// Fsync makes every journaled batch durable before the coordinator
 	// fans it out. Off by default (matching store.Options).
 	Fsync bool
+	// CompactBytes bounds the on-disk mutation journal: once an appended
+	// batch pushes it past this many bytes, the journal is folded into a
+	// fresh snapshot before the append returns, so a long-lived
+	// coordinator's directory stays proportional to the graph instead of
+	// to its update history (and the next recovery replays a short
+	// suffix, not the lifetime's mutations). 0 disables the policy — the
+	// journal then compacts only at construction and torn-tail repair,
+	// the pre-threshold behavior.
+	CompactBytes int64
 }
 
 // Journal is a coordinator's durable state in one directory: the
@@ -109,7 +118,8 @@ func (j *Journal) SetGraph(g *graph.Graph) error {
 	return j.writeWatchesLocked()
 }
 
-// AppendBatch journals one accepted update batch. Implements
+// AppendBatch journals one accepted update batch, compacting first when
+// the journal has outgrown Options.CompactBytes. Implements
 // cluster.UpdateJournal.
 func (j *Journal) AppendBatch(specs []server.UpdateSpec) error {
 	muts, err := server.ToUpdates(specs)
@@ -118,6 +128,22 @@ func (j *Journal) AppendBatch(specs []server.UpdateSpec) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.opts.CompactBytes > 0 {
+		size, err := j.st.JournalBytes()
+		if err != nil {
+			return err
+		}
+		if size >= j.opts.CompactBytes {
+			// Compact before the append rather than after: the snapshot
+			// write is the expensive step, and folding it in up front
+			// means a crash between append and compaction never loses
+			// the batch — it is either in the fresh journal suffix or
+			// not yet accepted.
+			if err := j.st.Compact(); err != nil {
+				return err
+			}
+		}
+	}
 	_, err = j.st.Apply(muts...)
 	return err
 }
@@ -145,6 +171,14 @@ func (j *Journal) Compact() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.st.Compact()
+}
+
+// JournalBytes reports the on-disk size of the mutation journal — what
+// the CompactBytes policy bounds.
+func (j *Journal) JournalBytes() (int64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.JournalBytes()
 }
 
 // Close flushes and closes the underlying store.

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// protocolSeeds are request lines captured off the e2e and cluster test
+// traffic: every command the coordinator sends a worker — fragment,
+// assign, and the combined update batch with inline assignment and the
+// scoped affected set — plus the plain client commands, so the fuzzer
+// starts from the shapes the wire actually carries.
+var protocolSeeds = []string{
+	`{"id":1,"cmd":"ping"}`,
+	`{"id":2,"cmd":"gen","kind":"social","size":200,"seed":42}`,
+	`{"id":3,"cmd":"load","format":"text","data":"graph\nn person\nn person\ne 0 1 follow\n"}`,
+	`{"id":4,"cmd":"fragment","data":"graph\nn person\nn person\nn product\ne 0 1 follow\ne 1 2 bad_rating\n","owned":[0,1]}`,
+	`{"id":5,"cmd":"assign","owned":[2]}`,
+	`{"id":6,"cmd":"update","updates":[{"op":"addEdge","from":0,"to":2,"label":"follow"},{"op":"removeEdge","from":1,"to":2,"label":"bad_rating"}]}`,
+	`{"id":7,"cmd":"update","updates":[{"op":"addNode","label":"person"},{"op":"addEdge","from":3,"to":0,"label":"follow"}],"owned":[3],"scoped":true,"affected":[0,1]}`,
+	`{"id":8,"cmd":"update","updates":[{"op":"removeNode","from":1}],"scoped":true}`,
+	`{"id":9,"cmd":"watch","watch":"w","pattern":"qgp\nn xo person *\nn z person\ne xo z follow >=3\n"}`,
+	`{"id":10,"cmd":"unwatch","watch":"w"}`,
+	`{"id":11,"cmd":"match","pattern":"qgp\nn xo person *\nn z person\ne xo z follow >=1\n","engine":"qmatchn","budget":100000,"limit":10,"planner":true}`,
+	`{"id":12,"cmd":"partition","workers":4,"d":2}`,
+}
+
+// FuzzRequestRoundTrip asserts the wire format is lossless for every
+// decodable request line: re-encoding a decoded request must reach a
+// fixpoint after one canonicalization step (encode(decode(line)) ==
+// encode(decode(encode(decode(line))))). One step is allowed because the
+// encoding canonicalizes — omitempty collapses empty collections into
+// absent ones, which the protocol semantics never distinguish (handlers
+// only ever test len). A field that decodes but does not survive
+// re-encoding (a forgotten json tag, an omitempty eating a meaningful
+// non-zero value, a new protocol field missing from the struct) breaks
+// replica mirroring and journal replay silently — the mirror would apply
+// a different request than the primary acked. This found the
+// empty-vs-absent collection wart the fixpoint formulation encodes.
+func FuzzRequestRoundTrip(f *testing.F) {
+	for _, s := range protocolSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			t.Skip() // not a decodable request line
+		}
+		b, err := json.Marshal(&req)
+		if err != nil {
+			t.Fatalf("marshal decoded request: %v", err)
+		}
+		var again Request
+		if err := json.Unmarshal(b, &again); err != nil {
+			t.Fatalf("re-decode %s: %v", b, err)
+		}
+		b2, err := json.Marshal(&again)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if string(b) != string(b2) {
+			t.Fatalf("canonical encoding is not a fixpoint:\n first: %s\nsecond: %s", b, b2)
+		}
+		// The mutation vocabulary must agree with itself too: a spec list
+		// that converts must convert identically after the round trip.
+		ups1, err1 := ToUpdates(req.Updates)
+		ups2, err2 := ToUpdates(again.Updates)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("ToUpdates verdict diverged: %v vs %v", err1, err2)
+		}
+		if err1 == nil && !reflect.DeepEqual(ups1, ups2) {
+			t.Fatalf("ToUpdates diverged:\n first: %+v\nsecond: %+v", ups1, ups2)
+		}
+	})
+}
+
+// FuzzResponseRoundTrip is the same fixpoint property for the server →
+// client direction, seeded with the response shapes the handlers emit
+// (fragment ping state, watch deltas, match metrics omitted).
+func FuzzResponseRoundTrip(f *testing.F) {
+	seeds := []string{
+		`{"id":1,"ok":true,"pong":true,"fragment":true,"ownedCount":2,"nodes":3,"edges":2}`,
+		`{"id":6,"ok":true,"deltas":[{"watch":"w","added":[1,4],"removed":[2],"affected":7}],"nodes":4,"edges":3}`,
+		`{"id":7,"ok":true,"deltas":[{"watch":"w","affected":0}]}`,
+		`{"id":9,"ok":false,"error":"watch \"w\" already registered"}`,
+		`{"id":11,"ok":true,"matches":[0,2,5],"total":3,"elapsedMs":1.25}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			t.Skip()
+		}
+		b, err := json.Marshal(&resp)
+		if err != nil {
+			t.Fatalf("marshal decoded response: %v", err)
+		}
+		var again Response
+		if err := json.Unmarshal(b, &again); err != nil {
+			t.Fatalf("re-decode %s: %v", b, err)
+		}
+		b2, err := json.Marshal(&again)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if string(b) != string(b2) {
+			t.Fatalf("canonical encoding is not a fixpoint:\n first: %s\nsecond: %s", b, b2)
+		}
+	})
+}

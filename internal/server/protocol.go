@@ -19,7 +19,12 @@ import (
 //	            counts) so cluster supervision can verify worker health
 //	gen       — generate a synthetic graph into the session
 //	load      — load a graph from inline text (graph DSL or JSON document)
-//	update    — apply a mutation batch to the session graph
+//	update    — apply a mutation batch to the session graph; a cluster
+//	            coordinator sends one combined batch per worker that can
+//	            also carry newly owned nodes (Owned) and the
+//	            coordinator-computed affected set (Scoped + Affected),
+//	            collapsing what used to be separate update and assign
+//	            round trips and sparing the worker a local re-expansion
 //	watch     — register a standing pattern; every later update reports
 //	            its answer-set delta (incremental maintenance, §5.2 remark)
 //	unwatch   — remove a standing pattern
@@ -80,10 +85,26 @@ type Request struct {
 	// watch).
 	Watch string `json:"watch,omitempty"`
 
-	// fragment / assign: the owned focus candidates, as node ids local to
-	// the fragment subgraph carried in Data. For fragment this is the full
-	// owned set; for assign it is the nodes to add to it.
+	// fragment / assign / update: the owned focus candidates, as node ids
+	// local to the fragment subgraph carried in Data. For fragment this is
+	// the full owned set; for assign (or an update on a fragment session)
+	// it is the nodes to add to it — an update batch from a cluster
+	// coordinator carries the nodes it assigns to this worker inline, so
+	// routing one global batch costs one round trip, not two.
 	Owned []int64 `json:"owned,omitempty"`
+
+	// update, fragment sessions only: Scoped marks Affected as the
+	// coordinator-computed global affected set translated to this
+	// fragment's local ids (owned candidates within the fragmentation
+	// radius of a touched node, in the old or new graph). The worker's
+	// standing watches then re-verify exactly these candidates instead of
+	// re-expanding the local batch, which is inflated by materialization
+	// traffic (neighborhood nodes and edges shipped for other candidates'
+	// benefit). Scoped distinguishes an intentionally empty set — nothing
+	// owned here is affected, e.g. a batch that only materializes
+	// neighborhood — from an ordinary unscoped update.
+	Scoped   bool    `json:"scoped,omitempty"`
+	Affected []int64 `json:"affected,omitempty"`
 }
 
 // UpdateSpec is one graph mutation in the wire format of the update

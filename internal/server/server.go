@@ -368,50 +368,109 @@ func (s *Server) handleGraph(sess *session, req *Request, resp *Response) error 
 // handleUpdate applies a mutation batch to the session graph and
 // incrementally maintains every standing watch; an error anywhere in the
 // batch leaves the session graph unchanged (dynamic.Apply is
-// copy-on-write) and the watches untouched.
+// copy-on-write) and the watches untouched. The batch is applied once and
+// shared across the watches (Matcher.ApplyShared), not rebuilt per watch.
+//
+// On a fragment session the request may additionally carry the cluster
+// coordinator's routing: Scoped + Affected narrow re-verification to the
+// coordinator-computed affected set (local ids), and Owned lists nodes
+// the coordinator assigns to this worker, folded into the owned set after
+// the batch applies — one combined round trip where the coordinator used
+// to send update and assign separately.
 func (s *Server) handleUpdate(sess *session, req *Request, resp *Response) error {
 	if sess.g == nil {
 		return errNoGraph
 	}
-	if len(req.Updates) == 0 {
+	if len(req.Updates) == 0 && len(req.Owned) == 0 {
 		return fmt.Errorf("update: empty batch")
 	}
-	ups, err := ToUpdates(req.Updates)
+	if (req.Scoped || len(req.Owned) > 0) && sess.owned == nil {
+		return fmt.Errorf("update: scoped or owning update on a session holding no fragment: run fragment first")
+	}
+	ng := sess.g
+	var touched []graph.NodeID
+	if len(req.Updates) > 0 {
+		ups, err := ToUpdates(req.Updates)
+		if err != nil {
+			return err
+		}
+		ng, touched, err = dynamic.Apply(sess.g, ups)
+		if err != nil {
+			return err
+		}
+		if ng.Size() > s.cfg.MaxGraphSize {
+			return fmt.Errorf("updated graph size %d exceeds server cap %d", ng.Size(), s.cfg.MaxGraphSize)
+		}
+	}
+	// Validate everything the request names — affected candidates and
+	// assigned nodes, both in the post-batch id space — before any state
+	// commits, keeping the contract that an error leaves graph, watches
+	// and ownership untouched (a client may retry an errored batch, and
+	// addNode is not idempotent).
+	var scoped []graph.NodeID
+	if req.Scoped {
+		var err error
+		if scoped, err = localNodes(ng, req.Affected); err != nil {
+			return fmt.Errorf("update: %w", err)
+		}
+	}
+	assign, err := localNodes(ng, req.Owned)
 	if err != nil {
-		return err
+		return fmt.Errorf("update: %w", err)
 	}
-	ng, _, err := dynamic.Apply(sess.g, ups)
-	if err != nil {
-		return err
-	}
-	if ng.Size() > s.cfg.MaxGraphSize {
-		return fmt.Errorf("updated graph size %d exceeds server cap %d", ng.Size(), s.cfg.MaxGraphSize)
-	}
-	// Graph replacement must not drop the watches: swap in place and
-	// reset only the cached statistics.
+	// The batch is validated; commit the new graph. Graph replacement
+	// must not drop the watches: swap in place and reset only the cached
+	// statistics.
 	sess.g = ng
 	sess.st = nil
+	if len(req.Updates) > 0 {
+		// An assign-only batch skips this: nothing changed in the graph,
+		// AddFocus below reports the new candidates.
+		for _, name := range watchNames(sess) {
+			m := sess.watches[name]
+			var delta dynamic.Delta
+			var err error
+			if req.Scoped {
+				delta, err = m.ApplyScoped(ng, scoped)
+			} else {
+				delta, err = m.ApplyShared(ng, touched)
+			}
+			if err != nil {
+				return fmt.Errorf("watch %q: %w", name, err)
+			}
+			appendDelta(resp, name, delta)
+		}
+	}
+	if len(assign) > 0 {
+		if err := assignOwned(sess, assign, resp); err != nil {
+			return fmt.Errorf("update: %w", err)
+		}
+	}
+	resp.Nodes, resp.Edges = ng.NumNodes(), ng.NumEdges()
+	return nil
+}
+
+// watchNames returns the session's standing-watch names in deterministic
+// order.
+func watchNames(sess *session) []string {
 	names := make([]string, 0, len(sess.watches))
 	for name := range sess.watches {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		delta, err := sess.watches[name].Apply(ups)
-		if err != nil {
-			return fmt.Errorf("watch %q: %w", name, err)
-		}
-		wd := WatchDelta{Watch: name, Affected: delta.Affected}
-		for _, v := range delta.Added {
-			wd.Added = append(wd.Added, int64(v))
-		}
-		for _, v := range delta.Removed {
-			wd.Removed = append(wd.Removed, int64(v))
-		}
-		resp.Deltas = append(resp.Deltas, wd)
+	return names
+}
+
+// appendDelta converts one watch's answer delta to the wire format.
+func appendDelta(resp *Response, name string, delta dynamic.Delta) {
+	wd := WatchDelta{Watch: name, Affected: delta.Affected}
+	for _, v := range delta.Added {
+		wd.Added = append(wd.Added, int64(v))
 	}
-	resp.Nodes, resp.Edges = ng.NumNodes(), ng.NumEdges()
-	return nil
+	for _, v := range delta.Removed {
+		wd.Removed = append(wd.Removed, int64(v))
+	}
+	resp.Deltas = append(resp.Deltas, wd)
 }
 
 // handleWatch registers a standing pattern under a name; the response
@@ -675,7 +734,9 @@ func (s *Server) handleFragment(sess *session, req *Request, resp *Response) err
 
 // handleAssign adds nodes to a fragment session's owned set. Standing
 // watches evaluate the new candidates immediately; any answers they
-// contribute are reported as per-watch deltas, mirroring update.
+// contribute are reported as per-watch deltas, mirroring update. (A
+// cluster coordinator normally folds assignment into the update batch
+// itself; the standalone command remains for direct protocol use.)
 func (s *Server) handleAssign(sess *session, req *Request, resp *Response) error {
 	if sess.owned == nil {
 		return fmt.Errorf("assign: session holds no fragment: run fragment first")
@@ -684,6 +745,18 @@ func (s *Server) handleAssign(sess *session, req *Request, resp *Response) error
 	if err != nil {
 		return fmt.Errorf("assign: %w", err)
 	}
+	if err := assignOwned(sess, add, resp); err != nil {
+		return fmt.Errorf("assign: %w", err)
+	}
+	resp.Nodes, resp.Edges = sess.g.NumNodes(), sess.g.NumEdges()
+	return nil
+}
+
+// assignOwned extends a fragment session's owned set with the validated
+// local ids and appends the per-watch deltas the new candidates
+// contribute; shared by the assign command and the combined cluster
+// update batch.
+func assignOwned(sess *session, add []graph.NodeID, resp *Response) error {
 	have := make(map[graph.NodeID]bool, len(sess.owned))
 	for _, v := range sess.owned {
 		have[v] = true
@@ -695,23 +768,13 @@ func (s *Server) handleAssign(sess *session, req *Request, resp *Response) error
 		}
 	}
 	sort.Slice(sess.owned, func(i, j int) bool { return sess.owned[i] < sess.owned[j] })
-	names := make([]string, 0, len(sess.watches))
-	for name := range sess.watches {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range watchNames(sess) {
 		delta, err := sess.watches[name].AddFocus(add)
 		if err != nil {
 			return fmt.Errorf("watch %q: %w", name, err)
 		}
-		wd := WatchDelta{Watch: name, Affected: delta.Affected}
-		for _, v := range delta.Added {
-			wd.Added = append(wd.Added, int64(v))
-		}
-		resp.Deltas = append(resp.Deltas, wd)
+		appendDelta(resp, name, delta)
 	}
-	resp.Nodes, resp.Edges = sess.g.NumNodes(), sess.g.NumEdges()
 	return nil
 }
 

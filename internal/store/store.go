@@ -168,6 +168,22 @@ func (s *Store) NumEdges() int {
 	return len(s.edges)
 }
 
+// JournalBytes reports the on-disk size of the mutation journal: the
+// bytes Compact would fold into the next snapshot. Compaction policies
+// (internal/ha) poll it to keep a long-lived store's journal bounded.
+func (s *Store) JournalBytes() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("store: closed")
+	}
+	fi, err := s.jw.f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	return fi.Size(), nil
+}
+
 // Apply journals and applies a batch of mutations atomically with respect
 // to Graph(): readers see either none or all of the batch. It returns the
 // id of the first node added by the batch (or -1 if none); AddNode ids
