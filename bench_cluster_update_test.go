@@ -11,6 +11,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/gen"
 	"repro/internal/ha"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -93,6 +94,29 @@ func BenchmarkClusterUpdate(b *testing.B) {
 			record[fmt.Sprintf("cluster%d_ns_per_op", workers)] = avgNs(b)
 		})
 	}
+
+	// Same fan-out with the metrics registry enabled: the delta against
+	// workers=2 is the full instrumentation cost per batch (per-worker
+	// latency histograms, routed/skipped counters, batch/affected/fanout
+	// size observations) and must stay within noise of the bare number.
+	b.Run("workers=2,metrics", func(b *testing.B) {
+		ts := cluster.InProcessN(2, server.Config{})
+		c, err := cluster.New(g, ts, cluster.Config{D: 2, Metrics: obs.NewRegistry()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Watch("w", q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Update(batchFor(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		record["cluster2_metrics_ns_per_op"] = avgNs(b)
+	})
 
 	// k=2 replication: the combined batch is mirrored to each fragment's
 	// warm replica after the primary acks; mirrors of different fragments

@@ -23,6 +23,20 @@
 //
 //	qgpcluster -addr :7688 -spawn 4 -replicas 2 -supervise 2s -journal /var/lib/qgp
 //
+// Observability: -debug-addr starts an HTTP listener with the metrics
+// registry, a health report and the runtime profiles; -trace logs one
+// structured line per fan-out request with per-worker spans:
+//
+//	qgpcluster -addr :7688 -spawn 2 -debug-addr :7699 -trace
+//	curl -s localhost:7699/metrics   # counters, gauges, latency histograms
+//	curl -s localhost:7699/healthz   # topology + per-fragment liveness
+//	curl -s localhost:7699/debug/pprof/   # standard runtime profiles
+//
+// The same registry snapshot is served over the wire protocol as the
+// metrics command, so a newline-JSON client needs no second port:
+//
+//	printf '{"id":1,"cmd":"metrics"}\n' | nc localhost 7688
+//
 // Try it with netcat:
 //
 //	printf '{"id":1,"cmd":"gen","kind":"social","size":1000}\n{"id":2,"cmd":"match","pattern":"qgp\nn xo person *\nn z person\ne xo z follow >=3\n"}\n' | nc localhost 7688
@@ -36,11 +50,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/ha"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -58,9 +74,21 @@ func main() {
 	supervise := flag.Duration("supervise", 0, "probe workers this often and fail dead ones over (0 = failover only when an operation trips)")
 	maxGraph := flag.Int("max-graph", 50_000_000, "maximum session graph size (|V|+|E|)")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "close idle front-end connections after this long")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this HTTP address (empty: disabled)")
+	trace := flag.Bool("trace", false, "log one structured line per fan-out request with per-worker spans")
 	flag.Parse()
 
-	clusterCfg := cluster.Config{D: *d, Engine: *engine, Budget: *budget, Replicas: *replicas}
+	// One registry is shared by every layer — front end, coordinators,
+	// embedded workers, supervision monitors and the journal — so the
+	// debug listener and the metrics wire command see the whole process.
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *trace {
+		tracer = obs.NewTracer(log.Printf)
+	}
+
+	clusterCfg := cluster.Config{D: *d, Engine: *engine, Budget: *budget, Replicas: *replicas,
+		Metrics: reg, Tracer: tracer}
 
 	// The pool both places replicas (and failover re-ships) and supplies
 	// each session's primary workers, so all worker sessions share one
@@ -81,7 +109,7 @@ func main() {
 		}
 		// Embedded workers idle as long as the front-end session lives;
 		// don't let the worker-side idle timeout cut them off.
-		pool = ha.NewSpawnPool(*spawn, server.Config{IdleTimeout: 24 * time.Hour})
+		pool = ha.NewSpawnPool(*spawn, server.Config{IdleTimeout: 24 * time.Hour, Metrics: reg})
 		workerCount = *spawn
 		log.Printf("qgpcluster: spawning %d embedded workers per session", *spawn)
 	}
@@ -95,19 +123,31 @@ func main() {
 		IdleTimeout:  *idle,
 	}
 
+	// Live monitors are tracked so /healthz can report supervision
+	// activity (passes, failovers, uptime) next to the topology.
+	var mmu sync.Mutex
+	monitors := make(map[*ha.Monitor]bool)
 	if *supervise > 0 {
 		interval := *supervise
 		feCfg.OnSession = func(c *cluster.Coordinator) func() {
-			m := ha.NewMonitor(c, ha.MonitorConfig{Interval: interval, Logf: log.Printf})
+			m := ha.NewMonitor(c, ha.MonitorConfig{Interval: interval, Logf: log.Printf, Metrics: reg})
 			m.Start()
-			return m.Stop
+			mmu.Lock()
+			monitors[m] = true
+			mmu.Unlock()
+			return func() {
+				mmu.Lock()
+				delete(monitors, m)
+				mmu.Unlock()
+				m.Stop()
+			}
 		}
 	}
 
 	var journal *ha.Journal
 	if *journalDir != "" {
 		var err error
-		journal, err = ha.OpenJournal(*journalDir, ha.JournalOptions{Fsync: *fsync, CompactBytes: *compactBytes})
+		journal, err = ha.OpenJournal(*journalDir, ha.JournalOptions{Fsync: *fsync, CompactBytes: *compactBytes, Metrics: reg})
 		if err != nil {
 			log.Fatalf("qgpcluster: %v", err)
 		}
@@ -131,6 +171,34 @@ func main() {
 	fe := cluster.NewFrontend(feCfg)
 	log.Printf("qgpcluster: listening on %s (d=%d, replicas=%d)", ln.Addr(), *d, *replicas)
 
+	// Startup gauges, so /metrics is non-empty before the first request.
+	reg.Gauge("cluster.config.workers").Set(int64(workerCount))
+	reg.Gauge("cluster.config.replicas").Set(int64(*replicas))
+	reg.Gauge("cluster.config.d").Set(int64(*d))
+
+	var debug *obs.DebugServer
+	if *debugAddr != "" {
+		health := func() (interface{}, error) {
+			doc, err := fe.Health()
+			out := map[string]interface{}{"cluster": doc}
+			mmu.Lock()
+			stats := make([]ha.MonitorStats, 0, len(monitors))
+			for m := range monitors {
+				stats = append(stats, m.Stats())
+			}
+			mmu.Unlock()
+			if len(stats) > 0 {
+				out["monitors"] = stats
+			}
+			return out, err
+		}
+		debug, err = obs.Serve(*debugAddr, reg, health)
+		if err != nil {
+			log.Fatalf("qgpcluster: debug listener: %v", err)
+		}
+		log.Printf("qgpcluster: debug endpoint on http://%s (/metrics /healthz /debug/pprof)", debug.Addr())
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
@@ -145,6 +213,9 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	exitCode := 0
+	if debug != nil {
+		debug.Close()
+	}
 	if err := fe.Shutdown(ctx); err != nil {
 		log.Printf("qgpcluster: shutdown: %v", err)
 		exitCode = 1

@@ -7,6 +7,16 @@
 //
 //	qgpd [-addr :7687] [-max-concurrent 4] [-budget 50000000]
 //
+// Observability: -debug-addr starts an HTTP listener with the server's
+// metrics registry (per-command counts and latency histograms), a health
+// report and the runtime profiles:
+//
+//	qgpd -addr :7687 -debug-addr :7698
+//	curl -s localhost:7698/metrics
+//	curl -s localhost:7698/healthz
+//
+// The same snapshot is served in-protocol by the metrics command.
+//
 // Try it with netcat:
 //
 //	printf '{"id":1,"cmd":"gen","kind":"social","size":1000}\n{"id":2,"cmd":"match","pattern":"qgp\nn xo person *\nn z person\ne xo z follow >=3\n"}\n' | nc localhost 7687
@@ -23,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -32,8 +43,10 @@ func main() {
 	budget := flag.Int64("budget", 50_000_000, "default extension budget per query (-1 disables)")
 	maxGraph := flag.Int("max-graph", 50_000_000, "maximum session graph size (|V|+|E|)")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "close idle connections after this long")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this HTTP address (empty: disabled)")
 	flag.Parse()
 
+	reg := obs.NewRegistry()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("qgpd: %v", err)
@@ -43,8 +56,18 @@ func main() {
 		DefaultBudget: *budget,
 		MaxGraphSize:  *maxGraph,
 		IdleTimeout:   *idle,
+		Metrics:       reg,
 	})
 	log.Printf("qgpd: listening on %s", ln.Addr())
+
+	var debug *obs.DebugServer
+	if *debugAddr != "" {
+		debug, err = obs.Serve(*debugAddr, reg, srv.Health)
+		if err != nil {
+			log.Fatalf("qgpd: debug listener: %v", err)
+		}
+		log.Printf("qgpd: debug endpoint on http://%s (/metrics /healthz /debug/pprof)", debug.Addr())
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -59,6 +82,9 @@ func main() {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if debug != nil {
+		debug.Close()
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "qgpd: shutdown: %v\n", err)
 		os.Exit(1)

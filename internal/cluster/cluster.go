@@ -30,11 +30,13 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 
 	"repro/internal/dynamic"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/server"
 )
@@ -72,6 +74,23 @@ type Config struct {
 	// fan-out) and watch change, so internal/ha can rebuild the
 	// coordinator after a restart. Strictly off the hot path when nil.
 	Journal UpdateJournal
+	// Logf receives coordinator diagnostics — failovers, replica
+	// promotions, re-ships, dropped mirrors; nil means log.Printf.
+	// Library users pass a no-op func to silence the chatter or their
+	// own sink to redirect it, like Frontend and ha.Monitor.
+	Logf func(format string, args ...interface{})
+	// Metrics, when set, receives the coordinator's counters and
+	// histograms: per-operation counts and latency, per-worker fan-out
+	// round-trip histograms, routed-vs-skipped worker counts, update
+	// batch and affected-set sizes, and failover/mirror events (names
+	// under cluster.*). Nil disables instrumentation at zero cost.
+	Metrics *obs.Registry
+	// Tracer, when set, gives every Match/Update/Watch request a
+	// process-unique id and emits one structured line per request with
+	// per-worker spans (plan, wire round trip, merge), so a slow
+	// fan-out can be attributed to a specific worker/fragment. Nil
+	// disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Coordinator is the paper's Sc: it holds the authoritative global graph,
@@ -81,6 +100,7 @@ type Config struct {
 type Coordinator struct {
 	mu      sync.Mutex
 	cfg     Config
+	om      *coordMetrics
 	g       *graph.Graph // authoritative global graph (edge-set normalized)
 	workers []*worker
 	watches map[string]string // watch name → pattern DSL (for failover re-registration)
@@ -132,6 +152,9 @@ func New(g *graph.Graph, ts []Transport, cfg Config) (*Coordinator, error) {
 	if cfg.D <= 0 {
 		cfg.D = 2
 	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
 	if cfg.Replicas > 1 && cfg.Pool == nil {
 		return nil, fmt.Errorf("cluster: %d replicas requested but no worker pool configured", cfg.Replicas)
 	}
@@ -144,6 +167,7 @@ func New(g *graph.Graph, ts []Transport, cfg Config) (*Coordinator, error) {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	c := &Coordinator{cfg: cfg, g: g, watches: make(map[string]string)}
+	c.om = newCoordMetrics(cfg.Metrics, len(ts))
 	c.workers = make([]*worker, len(ts))
 	for i, f := range p.Fragments {
 		w := &worker{
@@ -208,6 +232,74 @@ func New(g *graph.Graph, ts []Transport, cfg Config) (*Coordinator, error) {
 		}
 	}
 	return c, nil
+}
+
+// coordMetrics holds the coordinator's instruments, resolved from the
+// registry once at construction so the fan-out hot path performs only
+// atomic operations. Every field is nil (and every method call on it a
+// no-op) when Config.Metrics is unset.
+type coordMetrics struct {
+	matchCount, updateCount, watchCount *obs.Counter
+	matchMS, updateMS                   *obs.Histogram
+	// Per-worker wire round-trip latency: a slow fan-out is attributed
+	// to a specific worker/fragment here even without tracing.
+	workerMatchMS, workerUpdateMS []*obs.Histogram
+	// Update routing: how wide each batch fanned out, how many workers
+	// were skipped, and the size of the batch and its affected region —
+	// the "work proportional to the change" observables.
+	updateBatch, updateAffected, updateFanout *obs.Histogram
+	workersRouted, workersSkipped             *obs.Counter
+	// Failover events (the mechanics in ha.go; internal/ha's monitor
+	// counts its policy decisions separately).
+	promotions, reships, mirrorDrops *obs.Counter
+}
+
+func newCoordMetrics(reg *obs.Registry, workers int) *coordMetrics {
+	if reg == nil {
+		return nil
+	}
+	om := &coordMetrics{
+		matchCount:     reg.Counter("cluster.match.count"),
+		updateCount:    reg.Counter("cluster.update.count"),
+		watchCount:     reg.Counter("cluster.watch.count"),
+		matchMS:        reg.Histogram("cluster.match.ms", obs.LatencyBucketsMS),
+		updateMS:       reg.Histogram("cluster.update.ms", obs.LatencyBucketsMS),
+		updateBatch:    reg.Histogram("cluster.update.batch_size", obs.SizeBuckets),
+		updateAffected: reg.Histogram("cluster.update.affected_size", obs.SizeBuckets),
+		updateFanout:   reg.Histogram("cluster.update.fanout", obs.SizeBuckets),
+		workersRouted:  reg.Counter("cluster.update.workers_routed"),
+		workersSkipped: reg.Counter("cluster.update.workers_skipped"),
+		promotions:     reg.Counter("cluster.failover.promotions"),
+		reships:        reg.Counter("cluster.failover.reships"),
+		mirrorDrops:    reg.Counter("cluster.replica.mirror_drops"),
+	}
+	om.workerMatchMS = make([]*obs.Histogram, workers)
+	om.workerUpdateMS = make([]*obs.Histogram, workers)
+	for i := 0; i < workers; i++ {
+		om.workerMatchMS[i] = reg.Histogram(fmt.Sprintf("cluster.worker.%d.match.ms", i), obs.LatencyBucketsMS)
+		om.workerUpdateMS[i] = reg.Histogram(fmt.Sprintf("cluster.worker.%d.update.ms", i), obs.LatencyBucketsMS)
+	}
+	return om
+}
+
+// Nil-safe accessors for the per-event instruments used outside the
+// request paths (failover can run on a coordinator whose om is nil).
+func (om *coordMetrics) promoted() {
+	if om != nil {
+		om.promotions.Inc()
+	}
+}
+
+func (om *coordMetrics) reshipped() {
+	if om != nil {
+		om.reships.Inc()
+	}
+}
+
+func (om *coordMetrics) mirrorDropped() {
+	if om != nil {
+		om.mirrorDrops.Inc()
+	}
 }
 
 // endpointOf reports which pool endpoint hosts a transport, -1 when the

@@ -79,15 +79,16 @@ func (c *FrontendConfig) fill() {
 // Frontend exposes a Coordinator through the qgpd wire protocol, so any
 // existing client (internal/client, netcat, the examples) can talk to a
 // cluster exactly as it talks to a single server. Commands gen, load,
-// match, update, watch, unwatch, stats, partition and ping are served;
-// commands that only make sense against a local graph (pmatch, rule,
-// rpqfilter) report an error naming the limitation.
+// match, update, watch, unwatch, stats, partition, metrics and ping are
+// served; commands that only make sense against a local graph (pmatch,
+// rule, rpqfilter) report an error naming the limitation.
 type Frontend struct {
 	cfg FrontendConfig
 
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]bool
+	coords   map[*Coordinator]bool // live session coordinators, for Health
 	shutdown bool
 	wg       sync.WaitGroup
 
@@ -99,7 +100,7 @@ type Frontend struct {
 // NewFrontend returns a front-end server for cluster sessions.
 func NewFrontend(cfg FrontendConfig) *Frontend {
 	cfg.fill()
-	return &Frontend{cfg: cfg, conns: make(map[net.Conn]bool)}
+	return &Frontend{cfg: cfg, conns: make(map[net.Conn]bool), coords: make(map[*Coordinator]bool)}
 }
 
 // Serve accepts connections until Shutdown. It always returns a non-nil
@@ -180,6 +181,7 @@ type feSession struct {
 	coord *Coordinator
 	st    *stats.Stats
 	stop  func() // OnSession cleanup (e.g. a health monitor)
+	unreg func() // removes coord from the front end's Health tracking
 }
 
 // reset tears the session's cluster down: the supervisor hook is
@@ -188,6 +190,10 @@ func (sess *feSession) reset() {
 	if sess.stop != nil {
 		sess.stop()
 		sess.stop = nil
+	}
+	if sess.unreg != nil {
+		sess.unreg()
+		sess.unreg = nil
 	}
 	if sess.coord != nil {
 		sess.coord.Close()
@@ -249,6 +255,11 @@ func (f *Frontend) handle(sess *feSession, req *server.Request) server.Response 
 		err = f.handleStats(sess, req, &resp)
 	case "partition":
 		err = f.handlePartition(sess, req, &resp)
+	case "metrics":
+		// The front end and its coordinators share one registry
+		// (FrontendConfig.Cluster.Metrics), so the snapshot covers every
+		// session's fan-out counters; "{}" when none is configured.
+		resp.Obs = f.cfg.Cluster.Metrics.JSON()
 	case "pmatch", "rule", "rpqfilter", "fragment", "assign":
 		err = fmt.Errorf("command %q is not served by the cluster front end; connect to a worker qgpd for it", req.Cmd)
 	default:
@@ -290,6 +301,55 @@ func (f *Frontend) durableSession() (*feSession, error) {
 	return sess, nil
 }
 
+// ClusterHealth is one live cluster session's slice of the front end's
+// /healthz document.
+type ClusterHealth struct {
+	Fragments []FragmentHealth `json:"fragments"`
+	Error     string           `json:"error,omitempty"`
+}
+
+// Health reports the topology and per-fragment liveness of every live
+// cluster session, shaped for the debug listener's /healthz endpoint.
+// With no session yet (no client has loaded a graph) the document is
+// healthy but empty. The error is non-nil — a 503 from the debug handler
+// — when a session has fail-stopped or a fragment's primary fails its
+// probe.
+func (f *Frontend) Health() (interface{}, error) {
+	f.mu.Lock()
+	coords := make([]*Coordinator, 0, len(f.coords))
+	for c := range f.coords {
+		coords = append(coords, c)
+	}
+	f.mu.Unlock()
+	doc := struct {
+		Status   string          `json:"status"`
+		Sessions int             `json:"sessions"`
+		Clusters []ClusterHealth `json:"clusters,omitempty"`
+	}{Status: "ok", Sessions: len(coords)}
+	var firstErr error
+	for _, c := range coords {
+		fhs, err := c.Health()
+		ch := ClusterHealth{Fragments: fhs}
+		if err != nil {
+			ch.Error = err.Error()
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			for _, fh := range fhs {
+				if !fh.PrimaryAlive && firstErr == nil {
+					firstErr = fmt.Errorf("fragment %d primary failed its probe: %s", fh.Fragment, fh.PrimaryError)
+				}
+			}
+		}
+		doc.Clusters = append(doc.Clusters, ch)
+	}
+	if firstErr != nil {
+		doc.Status = "degraded"
+	}
+	return doc, firstErr
+}
+
 var errNoCluster = errors.New("no graph loaded: run gen or load first")
 
 // buildCluster replaces the session's coordinator with a fresh one over
@@ -320,6 +380,14 @@ func (f *Frontend) buildCluster(sess *feSession, g *graph.Graph, durable bool) e
 		return err
 	}
 	sess.coord = coord
+	f.mu.Lock()
+	f.coords[coord] = true
+	f.mu.Unlock()
+	sess.unreg = func() {
+		f.mu.Lock()
+		delete(f.coords, coord)
+		f.mu.Unlock()
+	}
 	if f.cfg.OnSession != nil {
 		sess.stop = f.cfg.OnSession(coord)
 	}

@@ -113,9 +113,13 @@ func (c *Coordinator) failover(w *worker, state *graph.Graph) error {
 		if err := c.enlistWatches(r); err != nil {
 			r.t.Close()
 			w.dropped++
+			c.om.mirrorDropped()
+			c.cfg.Logf("cluster: fragment %d: replica on endpoint %d refused watches during promotion, dropped: %v", w.id, r.endpoint, err)
 			continue
 		}
 		w.primary = r
+		c.om.promoted()
+		c.cfg.Logf("cluster: fragment %d: promoted warm replica on endpoint %d to primary (%d replicas left)", w.id, r.endpoint, len(w.replicas))
 		return nil
 	}
 	r, err := c.reship(w, state)
@@ -127,6 +131,8 @@ func (c *Coordinator) failover(w *worker, state *graph.Graph) error {
 		return fmt.Errorf("re-registering watches on re-shipped fragment: %w", err)
 	}
 	w.primary = r
+	c.om.reshipped()
+	c.cfg.Logf("cluster: fragment %d: no warm replica left, re-shipped fragment to endpoint %d", w.id, r.endpoint)
 	return nil
 }
 
@@ -217,9 +223,12 @@ func (c *Coordinator) mirror(w *worker, req *server.Request) {
 	case 1:
 		// No fan-out to overlap; skip the goroutine machinery.
 		if _, err := w.replicas[0].t.Do(req); err != nil {
+			ep := w.replicas[0].endpoint
 			w.replicas[0].t.Close()
 			w.replicas = w.replicas[:0]
 			w.dropped++
+			c.om.mirrorDropped()
+			c.cfg.Logf("cluster: fragment %d: replica on endpoint %d failed to mirror %s, dropped: %v", w.id, ep, req.Cmd, err)
 		}
 		return
 	}
@@ -246,6 +255,8 @@ func (c *Coordinator) mirror(w *worker, req *server.Request) {
 	for i, r := range w.replicas {
 		if !ok[i] {
 			w.dropped++
+			c.om.mirrorDropped()
+			c.cfg.Logf("cluster: fragment %d: replica on endpoint %d failed to mirror %s, dropped", w.id, r.endpoint, req.Cmd)
 			continue
 		}
 		kept = append(kept, r)
@@ -400,6 +411,57 @@ func (c *Coordinator) Status() []FragmentStatus {
 		}
 	}
 	return out
+}
+
+// FragmentHealth is one fragment's liveness report, shaped for the
+// debug listener's /healthz document (JSON tags are the wire contract).
+type FragmentHealth struct {
+	Fragment      int    `json:"fragment"`
+	Endpoint      int    `json:"endpoint"`
+	Materialized  int    `json:"materialized"`
+	Owned         int    `json:"owned"`
+	PrimaryAlive  bool   `json:"primaryAlive"`
+	PrimaryError  string `json:"primaryError,omitempty"`
+	Replicas      int    `json:"replicas"`      // warm replicas held
+	ReplicasAlive int    `json:"replicasAlive"` // of those, passing their probe
+	Dropped       int    `json:"dropped"`       // replicas discarded over the lifetime
+}
+
+// Health probes every fragment copy and combines the results with the
+// coordinator's topology bookkeeping: one report per fragment with the
+// primary's liveness, the warm-replica counts, and the owned/materialized
+// sizes. Unlike Probe it stays usable as a debug endpoint on a fail-stopped
+// coordinator — the error is returned alongside the last-known topology so
+// /healthz can show what the cluster looked like when it stopped.
+func (c *Coordinator) Health() ([]FragmentHealth, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]FragmentHealth, len(c.workers))
+	refused := c.refuseLocked()
+	for i, w := range c.workers {
+		fh := FragmentHealth{
+			Fragment:     i,
+			Endpoint:     w.primary.endpoint,
+			Materialized: len(w.nodes),
+			Owned:        len(w.owned),
+			Replicas:     len(w.replicas),
+			Dropped:      w.dropped,
+		}
+		if refused == nil {
+			if err := w.probe(w.primary); err != nil {
+				fh.PrimaryError = err.Error()
+			} else {
+				fh.PrimaryAlive = true
+			}
+			for _, r := range w.replicas {
+				if w.probe(r) == nil {
+					fh.ReplicasAlive++
+				}
+			}
+		}
+		out[i] = fh
+	}
+	return out, refused
 }
 
 // ReplicaCounts returns each fragment's current warm-replica count.

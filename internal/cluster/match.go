@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -39,13 +40,16 @@ func (c *Coordinator) Match(q *core.Pattern) (*MatchResult, error) {
 }
 
 // MatchWith is Match with per-call options.
-func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (*MatchResult, error) {
+func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (res *MatchResult, err error) {
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	if need := parallel.RequiredHops(q); need > c.cfg.D {
 		return nil, fmt.Errorf("cluster: pattern needs %d-hop preservation but the fragmentation has d=%d", need, c.cfg.D)
 	}
+	start := time.Now()
+	tr := c.cfg.Tracer.Start("match")
+	defer func() { tr.Finish(err) }()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.refuseLocked(); err != nil {
@@ -64,10 +68,11 @@ func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (*MatchResu
 	}
 	pattern := q.String()
 	responses := make([]*server.Response, len(c.workers))
-	err := c.fanOut(func(w *worker) error {
+	err = c.fanOut(func(w *worker) error {
 		// Matching does not change fragment state, so a failover here
 		// (against the current authoritative graph) and a plain retry
 		// are always safe.
+		t0 := time.Now()
 		resp, err := c.sendPrimary(w, "match", &server.Request{
 			Cmd:     "match",
 			Pattern: pattern,
@@ -78,6 +83,15 @@ func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (*MatchResu
 		if err != nil {
 			return err
 		}
+		// The round trip measured here minus the worker-reported compute
+		// time (resp.ElapsedMS) is serialization + wire + queueing: the
+		// trace annotation makes a slow worker distinguishable from a
+		// slow link.
+		tr.Span(w.id, "rtt", t0)
+		tr.Annotatef("w%d:compute=%.2fms answers=%d", w.id, resp.ElapsedMS, len(resp.Matches))
+		if c.om != nil {
+			c.om.workerMatchMS[w.id].ObserveSince(t0)
+		}
 		responses[w.id] = resp
 		return nil
 	})
@@ -85,6 +99,7 @@ func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (*MatchResu
 		return nil, err
 	}
 
+	tm := time.Now()
 	out := &MatchResult{PerWorker: make([]int, len(c.workers))}
 	merged := make(map[graph.NodeID]bool)
 	for i, resp := range responses {
@@ -92,10 +107,18 @@ func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (*MatchResu
 		if err := c.workers[i].mergeGlobal(resp.Matches, merged); err != nil {
 			return nil, err
 		}
+		// Per-worker engine metrics fold into the cluster-wide totals:
+		// ownership partitions the focus candidates, so sums over the
+		// workers are exactly the single-process work counts.
 		if resp.Metrics != nil {
 			out.Metrics.Add(*resp.Metrics)
 		}
 	}
 	out.Matches = sortedSet(merged)
+	tr.Span(-1, "merge", tm)
+	if c.om != nil {
+		c.om.matchCount.Inc()
+		c.om.matchMS.ObserveSince(start)
+	}
 	return out, nil
 }

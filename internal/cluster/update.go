@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/graph"
@@ -28,6 +29,12 @@ type UpdateResult struct {
 	// created. The others were not spoken to — the paper's "coordinator Sc
 	// assigns the changes to each fragment" routing (§5.2).
 	Contacted []int
+	// AffectedSize is the size of the coordinator-computed affected
+	// region (nodes within the fragmentation radius of a touched node,
+	// old or new graph) — the "work proportional to the change"
+	// observable: for a small batch on a large graph it should be far
+	// below |V|.
+	AffectedSize int
 }
 
 // workerPlan is the update traffic computed for one worker, coalesced
@@ -73,15 +80,19 @@ func (p *workerPlan) empty() bool {
 // replays the batch exactly once. Only when no session survives
 // failover does the coordinator mark itself failed and refuse further
 // requests rather than serve possibly inconsistent answers.
-func (c *Coordinator) Update(specs []server.UpdateSpec) (*UpdateResult, error) {
+func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("cluster: update: empty batch")
 	}
+	start := time.Now()
+	tr := c.cfg.Tracer.Start("update")
+	defer func() { tr.Finish(err) }()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.refuseLocked(); err != nil {
 		return nil, err
 	}
+	tapply := time.Now()
 	ups, err := server.ToUpdates(specs)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
@@ -91,6 +102,7 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (*UpdateResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
+	tr.Span(-1, "apply", tapply)
 	// The batch is accepted: journal it before any worker sees it, so a
 	// coordinator crash during fan-out cannot lose an applied batch.
 	// A journal append failure rejects the batch with the cluster still
@@ -101,6 +113,11 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (*UpdateResult, error) {
 		}
 	}
 	affected := dynamic.AffectedWithin(oldG, newG, touched, c.cfg.D)
+	tr.Annotatef("batch=%d touched=%d affected=%d", len(specs), len(touched), len(affected))
+	if c.om != nil {
+		c.om.updateBatch.Observe(float64(len(specs)))
+		c.om.updateAffected.Observe(float64(len(affected)))
+	}
 
 	// Assign each node the batch created to the worker owning the fewest.
 	assignTo := make(map[graph.NodeID]int)
@@ -126,11 +143,19 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (*UpdateResult, error) {
 	contacted := make([]bool, len(c.workers))
 	updDeltas := make([][]server.WatchDelta, len(c.workers))
 	err = c.fanOut(func(w *worker) error {
+		tplan := time.Now()
 		p := c.planFor(w, oldG, newG, touched, affected, assignTo)
 		if p == nil || p.empty() {
+			if c.om != nil {
+				c.om.workersSkipped.Inc()
+			}
 			return nil
 		}
+		tr.Span(w.id, "plan", tplan)
 		contacted[w.id] = true
+		if c.om != nil {
+			c.om.workersRouted.Inc()
+		}
 		req := &server.Request{
 			Cmd:      "update",
 			Updates:  p.batch,
@@ -145,9 +170,15 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (*UpdateResult, error) {
 		// exactly once. Response deltas use post-batch local ids; they
 		// are translated after the fan-out, when the extension below is
 		// committed.
+		trtt := time.Now()
 		resp, err := c.sendPrimary(w, "update", req, oldG)
 		if err != nil {
 			return err
+		}
+		tr.Span(w.id, "rtt", trtt)
+		tr.Annotatef("w%d:muts=%d affected=%d", w.id, len(p.batch), len(p.affected))
+		if c.om != nil {
+			c.om.workerUpdateMS[w.id].ObserveSince(trtt)
 		}
 		updDeltas[w.id] = resp.Deltas
 		for _, gv := range p.newMat {
@@ -158,7 +189,11 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (*UpdateResult, error) {
 		for _, gv := range p.assign {
 			w.owned[gv] = true
 		}
-		c.mirror(w, req)
+		if len(w.replicas) > 0 {
+			tmir := time.Now()
+			c.mirror(w, req)
+			tr.Span(w.id, "mirror", tmir)
+		}
 		return nil
 	})
 	if err != nil {
@@ -167,18 +202,25 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (*UpdateResult, error) {
 	}
 	c.g = newG
 
-	out := &UpdateResult{Nodes: newG.NumNodes(), Edges: newG.NumEdges()}
+	out := &UpdateResult{Nodes: newG.NumNodes(), Edges: newG.NumEdges(), AffectedSize: len(affected)}
 	for i, hit := range contacted {
 		if hit {
 			out.Contacted = append(out.Contacted, i)
 		}
 	}
+	tm := time.Now()
 	merged, err := c.mergeDeltas(updDeltas)
 	if err != nil {
 		c.failed = err
 		return nil, err
 	}
 	out.Deltas = merged
+	tr.Span(-1, "merge", tm)
+	if c.om != nil {
+		c.om.updateCount.Inc()
+		c.om.updateFanout.Observe(float64(len(out.Contacted)))
+		c.om.updateMS.ObserveSince(start)
+	}
 	return out, nil
 }
 

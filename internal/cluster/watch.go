@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -18,7 +19,7 @@ import (
 // restricted dynamic.Matcher, so maintenance work is sharded the same way
 // matching is. Watches live only on primaries: a replica promoted by
 // failover re-registers them before serving.
-func (c *Coordinator) Watch(name string, q *core.Pattern) ([]graph.NodeID, error) {
+func (c *Coordinator) Watch(name string, q *core.Pattern) (initial []graph.NodeID, err error) {
 	if name == "" {
 		return nil, fmt.Errorf("cluster: watch: empty name")
 	}
@@ -28,6 +29,9 @@ func (c *Coordinator) Watch(name string, q *core.Pattern) ([]graph.NodeID, error
 	if need := parallel.RequiredHops(q); need > c.cfg.D {
 		return nil, fmt.Errorf("cluster: pattern needs %d-hop preservation but the fragmentation has d=%d", need, c.cfg.D)
 	}
+	tr := c.cfg.Tracer.Start("watch")
+	defer func() { tr.Finish(err) }()
+	tr.Annotatef("name=%s", name)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.refuseLocked(); err != nil {
@@ -46,11 +50,13 @@ func (c *Coordinator) Watch(name string, q *core.Pattern) ([]graph.NodeID, error
 	pattern := q.String()
 	merged := make(map[graph.NodeID]bool)
 	responses := make([]*server.Response, len(c.workers))
-	err := c.fanOut(func(w *worker) error {
+	err = c.fanOut(func(w *worker) error {
+		t0 := time.Now()
 		resp, err := c.sendPrimary(w, "watch", &server.Request{Cmd: "watch", Watch: name, Pattern: pattern}, c.g)
 		if err != nil {
 			return err
 		}
+		tr.Span(w.id, "rtt", t0)
 		responses[w.id] = resp
 		return nil
 	})
@@ -76,6 +82,9 @@ func (c *Coordinator) Watch(name string, q *core.Pattern) ([]graph.NodeID, error
 			c.failed = fmt.Errorf("journal watch %q: %w", name, err)
 			return nil, c.failed
 		}
+	}
+	if c.om != nil {
+		c.om.watchCount.Inc()
 	}
 	return sortedSet(merged), nil
 }

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -29,6 +31,39 @@ type JournalOptions struct {
 	// journal then compacts only at construction and torn-tail repair,
 	// the pre-threshold behavior.
 	CompactBytes int64
+	// Logf receives diagnostics (compaction passes and their trigger
+	// sizes); nil means log.Printf.
+	Logf func(format string, args ...interface{})
+	// Metrics, when set, exposes journal activity in the registry:
+	// ha.journal.batches / .mutations / .compactions / .fsyncs counters
+	// and the ha.journal.bytes gauge (on-disk mutation-journal size).
+	Metrics *obs.Registry
+}
+
+func (o *JournalOptions) fill() {
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+}
+
+// journalMetrics holds the journal's pre-resolved instruments; with no
+// registry every field is nil and the observations are no-ops.
+type journalMetrics struct {
+	batches     *obs.Counter
+	mutations   *obs.Counter
+	compactions *obs.Counter
+	fsyncs      *obs.Counter
+	bytes       *obs.Gauge
+}
+
+func newJournalMetrics(reg *obs.Registry) journalMetrics {
+	return journalMetrics{
+		batches:     reg.Counter("ha.journal.batches"),
+		mutations:   reg.Counter("ha.journal.mutations"),
+		compactions: reg.Counter("ha.journal.compactions"),
+		fsyncs:      reg.Counter("ha.journal.fsyncs"),
+		bytes:       reg.Gauge("ha.journal.bytes"),
+	}
 }
 
 // Journal is a coordinator's durable state in one directory: the
@@ -42,6 +77,7 @@ type JournalOptions struct {
 type Journal struct {
 	dir  string
 	opts JournalOptions
+	om   journalMetrics
 
 	mu      sync.Mutex
 	st      *store.Store
@@ -51,11 +87,12 @@ type Journal struct {
 // OpenJournal opens (or initializes) the journal directory, replaying
 // any existing snapshot+journal into the recovered graph.
 func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+	opts.fill()
 	st, err := store.Open(dir, store.Options{Fsync: opts.Fsync})
 	if err != nil {
 		return nil, fmt.Errorf("ha: %w", err)
 	}
-	j := &Journal{dir: dir, opts: opts, st: st, watches: make(map[string]string)}
+	j := &Journal{dir: dir, opts: opts, om: newJournalMetrics(opts.Metrics), st: st, watches: make(map[string]string)}
 	b, err := os.ReadFile(filepath.Join(dir, watchesName))
 	switch {
 	case errors.Is(err, os.ErrNotExist):
@@ -142,10 +179,25 @@ func (j *Journal) AppendBatch(specs []server.UpdateSpec) error {
 			if err := j.st.Compact(); err != nil {
 				return err
 			}
+			j.om.compactions.Inc()
+			j.opts.Logf("ha: journal: compacted at %d bytes (threshold %d)", size, j.opts.CompactBytes)
 		}
 	}
-	_, err = j.st.Apply(muts...)
-	return err
+	if _, err = j.st.Apply(muts...); err != nil {
+		return err
+	}
+	j.om.batches.Inc()
+	j.om.mutations.Add(int64(len(muts)))
+	if j.opts.Fsync {
+		// The store syncs each applied batch when Fsync is on; counting
+		// here (rather than inside the store) keeps the dependency
+		// one-way.
+		j.om.fsyncs.Inc()
+	}
+	if size, serr := j.st.JournalBytes(); serr == nil {
+		j.om.bytes.Set(size)
+	}
+	return nil
 }
 
 // WatchRegistered records a standing watch. Implements
@@ -170,7 +222,14 @@ func (j *Journal) WatchRemoved(name string) error {
 func (j *Journal) Compact() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.st.Compact()
+	if err := j.st.Compact(); err != nil {
+		return err
+	}
+	j.om.compactions.Inc()
+	if size, err := j.st.JournalBytes(); err == nil {
+		j.om.bytes.Set(size)
+	}
+	return nil
 }
 
 // JournalBytes reports the on-disk size of the mutation journal — what

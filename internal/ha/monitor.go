@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // MonitorConfig tunes a Monitor.
@@ -23,6 +24,10 @@ type MonitorConfig struct {
 	OnFailover func(fragment int, err error)
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...interface{})
+	// Metrics, when set, mirrors MonitorStats into the registry
+	// (ha.monitor.* counters) so the debug listener's /metrics shows
+	// supervision activity without polling Stats.
+	Metrics *obs.Registry
 }
 
 func (c *MonitorConfig) fill() {
@@ -39,11 +44,36 @@ func (c *MonitorConfig) fill() {
 
 // MonitorStats counts what a monitor has done.
 type MonitorStats struct {
-	Passes          int // supervision passes completed
-	ProbeFailures   int // primary probes that failed
-	Failovers       int // primaries replaced
-	ReplicasDropped int // dead warm replicas discarded by repair
-	ReplicasAdded   int // fresh warm replicas shipped by repair
+	Passes          int `json:"passes"`          // supervision passes completed
+	ProbeFailures   int `json:"probeFailures"`   // primary probes that failed
+	Failovers       int `json:"failovers"`       // primaries replaced
+	ReplicasDropped int `json:"replicasDropped"` // dead warm replicas discarded by repair
+	ReplicasAdded   int `json:"replicasAdded"`   // fresh warm replicas shipped by repair
+	// Uptime is how long the supervision loop has been running, measured
+	// on the monotonic clock from Start (zero before Start, frozen at
+	// Stop). Wall-clock steps (NTP, suspend) cannot make it jump.
+	Uptime time.Duration `json:"uptimeNS"`
+}
+
+// monitorMetrics mirrors MonitorStats into a registry. With no registry
+// configured every field is nil, and nil obs instruments are no-ops, so
+// the increments below need no guards.
+type monitorMetrics struct {
+	passes        *obs.Counter
+	probeFailures *obs.Counter
+	failovers     *obs.Counter
+	dropped       *obs.Counter
+	added         *obs.Counter
+}
+
+func newMonitorMetrics(reg *obs.Registry) monitorMetrics {
+	return monitorMetrics{
+		passes:        reg.Counter("ha.monitor.passes"),
+		probeFailures: reg.Counter("ha.monitor.probe_failures"),
+		failovers:     reg.Counter("ha.monitor.failovers"),
+		dropped:       reg.Counter("ha.monitor.replicas_dropped"),
+		added:         reg.Counter("ha.monitor.replicas_added"),
+	}
 }
 
 // Monitor supervises a coordinator's workers: it probes every fragment
@@ -55,10 +85,13 @@ type MonitorStats struct {
 type Monitor struct {
 	c   *cluster.Coordinator
 	cfg MonitorConfig
+	om  monitorMetrics
 
 	mu          sync.Mutex
 	consecutive map[int]int
 	stats       MonitorStats
+	started     time.Time // monotonic Start time; zero before Start
+	stopped     time.Time // monotonic Stop time; zero while running
 	stop        chan struct{}
 	done        chan struct{}
 }
@@ -67,7 +100,7 @@ type Monitor struct {
 // synchronously; Start runs passes on cfg.Interval until Stop.
 func NewMonitor(c *cluster.Coordinator, cfg MonitorConfig) *Monitor {
 	cfg.fill()
-	return &Monitor{c: c, cfg: cfg, consecutive: make(map[int]int)}
+	return &Monitor{c: c, cfg: cfg, om: newMonitorMetrics(cfg.Metrics), consecutive: make(map[int]int)}
 }
 
 // Start launches the supervision loop. The loop exits on Stop or once
@@ -78,6 +111,7 @@ func (m *Monitor) Start() {
 	if m.stop != nil {
 		return
 	}
+	m.started, m.stopped = time.Now(), time.Time{}
 	m.stop = make(chan struct{})
 	m.done = make(chan struct{})
 	go m.loop(m.stop, m.done)
@@ -89,6 +123,9 @@ func (m *Monitor) Stop() {
 	m.mu.Lock()
 	stop, done := m.stop, m.done
 	m.stop, m.done = nil, nil
+	if stop != nil {
+		m.stopped = time.Now()
+	}
 	m.mu.Unlock()
 	if stop == nil {
 		return
@@ -97,11 +134,22 @@ func (m *Monitor) Stop() {
 	<-done
 }
 
-// Stats returns what the monitor has done so far.
+// Stats returns what the monitor has done so far. Safe to call
+// concurrently with a running supervision loop; the returned copy is
+// consistent (taken under the monitor's lock) and Uptime is monotonic.
 func (m *Monitor) Stats() MonitorStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.stats
+	st := m.stats
+	switch {
+	case m.started.IsZero():
+		// Never started: Uptime stays zero.
+	case m.stopped.IsZero():
+		st.Uptime = time.Since(m.started)
+	default:
+		st.Uptime = m.stopped.Sub(m.started)
+	}
+	return st
 }
 
 func (m *Monitor) loop(stop, done chan struct{}) {
@@ -147,6 +195,7 @@ func (m *Monitor) Check() error {
 			m.stats.ProbeFailures++
 			trip := m.consecutive[pr.Fragment] >= m.cfg.FailureThreshold
 			m.mu.Unlock()
+			m.om.probeFailures.Inc()
 			m.cfg.Logf("ha: monitor: fragment %d probe failed: %v", pr.Fragment, pr.Primary)
 			if trip {
 				ferr := m.c.FailOver(pr.Fragment)
@@ -157,6 +206,7 @@ func (m *Monitor) Check() error {
 					// instead of waiting out the threshold again.
 					m.consecutive[pr.Fragment] = 0
 					m.stats.Failovers++
+					m.om.failovers.Inc()
 				}
 				m.mu.Unlock()
 				if ferr != nil {
@@ -180,6 +230,8 @@ func (m *Monitor) Check() error {
 		m.stats.ReplicasDropped += rep.Dropped
 		m.stats.ReplicasAdded += rep.Added
 		m.mu.Unlock()
+		m.om.dropped.Add(int64(rep.Dropped))
+		m.om.added.Add(int64(rep.Added))
 		if rerr != nil {
 			m.cfg.Logf("ha: monitor: repair: %v", rerr)
 		}
@@ -187,5 +239,6 @@ func (m *Monitor) Check() error {
 	m.mu.Lock()
 	m.stats.Passes++
 	m.mu.Unlock()
+	m.om.passes.Inc()
 	return nil
 }

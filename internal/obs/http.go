@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves the debug endpoint:
+//
+//	/metrics       — the registry as JSON ("{}" when reg is nil)
+//	/healthz       — the health callback's value as JSON; 503 when the
+//	                 callback reports an error, 200 otherwise
+//	/debug/pprof/  — the standard runtime profiles
+//
+// health may be nil (a bare {"status":"ok"} is served) and is called per
+// request, so it can probe live state. The pprof handlers are mounted
+// explicitly rather than through net/http/pprof's DefaultServeMux side
+// effect, so importing this package does not pollute the global mux.
+func Handler(reg *Registry, health func() (interface{}, error)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(reg.JSON())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		var (
+			doc interface{} = map[string]string{"status": "ok"}
+			err error
+		)
+		if health != nil {
+			doc, err = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"status": "unhealthy", "error": err.Error()})
+			return
+		}
+		if b, merr := json.Marshal(doc); merr == nil {
+			w.Write(b)
+		} else {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]string{"status": "error", "error": merr.Error()})
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug HTTP listener.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts the debug endpoint on addr (":7699", "127.0.0.1:0", ...)
+// and serves in the background until Close. The listener is bound before
+// returning, so Addr is immediately valid and a bad address fails fast.
+func Serve(addr string, reg *Registry, health func() (interface{}, error)) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg, health), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &DebugServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound listen address.
+func (d *DebugServer) Addr() net.Addr { return d.ln.Addr() }
+
+// Close stops the listener and in-flight handlers.
+func (d *DebugServer) Close() error { return d.srv.Close() }

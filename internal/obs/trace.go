@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer hands out per-request traces with process-unique ids. A nil
+// Tracer (tracing disabled) yields nil traces whose methods are no-ops,
+// so instrumented code never branches on whether tracing is on.
+type Tracer struct {
+	next atomic.Uint64
+	logf func(format string, args ...interface{})
+}
+
+// NewTracer returns a tracer emitting finished traces through logf — the
+// same diagnostics hook the servers already expose, so trace output goes
+// wherever the component's logging goes. A nil logf returns a nil tracer
+// (tracing disabled).
+func NewTracer(logf func(format string, args ...interface{})) *Tracer {
+	if logf == nil {
+		return nil
+	}
+	return &Tracer{logf: logf}
+}
+
+// Start opens a trace for one request. op names the request kind
+// ("match", "update", "watch"); the returned trace carries a
+// process-unique id so a slow request in the log can be followed across
+// its per-worker spans.
+func (t *Tracer) Start(op string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{id: t.next.Add(1), op: op, start: time.Now(), logf: t.logf}
+}
+
+// Trace accumulates the spans of one request — which worker was doing
+// what, when, for how long — and emits a single structured log line at
+// Finish. Span and Annotatef are safe to call from concurrent fan-out
+// goroutines. All methods are no-ops on a nil receiver.
+type Trace struct {
+	id    uint64
+	op    string
+	start time.Time
+	logf  func(format string, args ...interface{})
+
+	mu    sync.Mutex
+	spans []span
+	notes []string
+}
+
+// span is one timed step; worker -1 marks coordinator-side work (merge,
+// plan) as opposed to a specific worker's.
+type span struct {
+	worker int
+	name   string
+	offset time.Duration // since the trace started
+	dur    time.Duration
+}
+
+// ID returns the trace's process-unique id (0 on nil).
+func (tr *Trace) ID() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.id
+}
+
+// Span records a step that started at t0 and ends now. worker is the
+// fragment/worker id the step belongs to, or -1 for coordinator-side
+// work.
+func (tr *Trace) Span(worker int, name string, t0 time.Time) {
+	if tr == nil {
+		return
+	}
+	sp := span{worker: worker, name: name, offset: t0.Sub(tr.start), dur: time.Since(t0)}
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
+}
+
+// Annotatef attaches a free-form key=value note ("affected=3",
+// "w1 compute=0.42ms") to the trace.
+func (tr *Trace) Annotatef(format string, args ...interface{}) {
+	if tr == nil {
+		return
+	}
+	note := fmt.Sprintf(format, args...)
+	tr.mu.Lock()
+	tr.notes = append(tr.notes, note)
+	tr.mu.Unlock()
+}
+
+// Finish emits the trace as one structured log line:
+//
+//	trace id=7 op=update dur=1.84ms spans=[w0:rtt@0.12+1.40 w1:rtt@0.13+0.61 merge@1.60+0.09] notes=[affected=3] err=<nil>
+//
+// Span offsets and durations are milliseconds relative to the trace
+// start, so overlap (the pipelined fan-out) is visible: two spans with
+// the same offset ran concurrently.
+func (tr *Trace) Finish(err error) {
+	if tr == nil {
+		return
+	}
+	total := time.Since(tr.start)
+	tr.mu.Lock()
+	spans, notes := tr.spans, tr.notes
+	tr.mu.Unlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace id=%d op=%s dur=%.2fms spans=[", tr.id, tr.op, ms(total))
+	for i, sp := range spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if sp.worker >= 0 {
+			fmt.Fprintf(&b, "w%d:", sp.worker)
+		}
+		fmt.Fprintf(&b, "%s@%.2f+%.2f", sp.name, ms(sp.offset), ms(sp.dur))
+	}
+	b.WriteByte(']')
+	if len(notes) > 0 {
+		fmt.Fprintf(&b, " notes=[%s]", strings.Join(notes, " "))
+	}
+	if err != nil {
+		fmt.Fprintf(&b, " err=%v", err)
+	}
+	tr.logf("%s", b.String())
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}

@@ -24,6 +24,7 @@ var protocolSeeds = []string{
 	`{"id":10,"cmd":"unwatch","watch":"w"}`,
 	`{"id":11,"cmd":"match","pattern":"qgp\nn xo person *\nn z person\ne xo z follow >=1\n","engine":"qmatchn","budget":100000,"limit":10,"planner":true}`,
 	`{"id":12,"cmd":"partition","workers":4,"d":2}`,
+	`{"id":13,"cmd":"metrics"}`,
 }
 
 // FuzzRequestRoundTrip asserts the wire format is lossless for every
@@ -85,6 +86,7 @@ func FuzzResponseRoundTrip(f *testing.F) {
 		`{"id":7,"ok":true,"deltas":[{"watch":"w","affected":0}]}`,
 		`{"id":9,"ok":false,"error":"watch \"w\" already registered"}`,
 		`{"id":11,"ok":true,"matches":[0,2,5],"total":3,"elapsedMs":1.25}`,
+		`{"id":13,"ok":true,"obs":{"counters":{"server.cmd.match.count":2},"gauges":{},"histograms":{"server.cmd.match.ms":{"count":2,"sum":1.5,"bounds":[1,10],"counts":[1,1,0]}}}}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

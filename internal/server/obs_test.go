@@ -1,0 +1,63 @@
+package server_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// TestMetricsCommand: the metrics command returns the live registry
+// snapshot, and the per-command instruments count requests, errors and
+// latency.
+func TestMetricsCommand(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, _ := startServer(t, server.Config{Metrics: reg})
+
+	// A failing match (no graph yet) must count as a match error.
+	if _, err := c.Match(followPattern, nil); err == nil {
+		t.Fatal("match before load succeeded")
+	}
+	if _, _, err := c.LoadText(tinyGraphText); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Match(followPattern, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.Do(&server.Request{Cmd: "metrics"})
+	if err != nil {
+		t.Fatalf("metrics command: %v", err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(resp.Obs, &snap); err != nil {
+		t.Fatalf("metrics document does not parse: %v\n%s", err, resp.Obs)
+	}
+	if got := snap.Counters["server.cmd.match.count"]; got != 2 {
+		t.Errorf("server.cmd.match.count = %d, want 2 (one failed, one ok)", got)
+	}
+	if got := snap.Counters["server.cmd.match.errors"]; got != 1 {
+		t.Errorf("server.cmd.match.errors = %d, want 1", got)
+	}
+	if got := snap.Counters["server.cmd.load.count"]; got != 1 {
+		t.Errorf("server.cmd.load.count = %d, want 1", got)
+	}
+	if h := snap.Histograms["server.cmd.match.ms"]; h.Count != 2 {
+		t.Errorf("server.cmd.match.ms observed %d times, want 2", h.Count)
+	}
+}
+
+// TestMetricsCommandWithoutRegistry: a server built without a registry
+// still answers the command, with an empty document.
+func TestMetricsCommandWithoutRegistry(t *testing.T) {
+	c, _ := startServer(t, server.Config{})
+	resp, err := c.Do(&server.Request{Cmd: "metrics"})
+	if err != nil {
+		t.Fatalf("metrics command: %v", err)
+	}
+	if got := strings.TrimSpace(string(resp.Obs)); got != "{}" {
+		t.Fatalf("metrics without a registry = %q, want {}", got)
+	}
+}

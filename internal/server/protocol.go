@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/dynamic"
@@ -39,6 +40,11 @@ import (
 //	            answer only for the owned focus candidates
 //	assign    — extend a fragment session's owned set (the coordinator
 //	            assigns newly created nodes to this worker)
+//	metrics   — snapshot of the server's metrics registry (counters,
+//	            gauges, histograms) as a JSON document in Obs, so a
+//	            newline-JSON client can scrape a session without the
+//	            debug HTTP listener; empty ({}) when the server was
+//	            built without a registry
 //
 // The session graph persists across requests on the same connection.
 
@@ -179,6 +185,11 @@ type Response struct {
 	// update: per-watch answer deltas; watch: the initial answer set is
 	// returned in Matches.
 	Deltas []WatchDelta `json:"deltas,omitempty"`
+
+	// metrics: the registry snapshot (obs.Snapshot shape). RawMessage,
+	// not a typed struct, so the wire client needs no dependency on the
+	// registry's internal layout and the document round-trips verbatim.
+	Obs json.RawMessage `json:"obs,omitempty"`
 }
 
 // WatchDelta reports how one update batch changed a standing pattern's

@@ -26,6 +26,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/load"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/plan"
@@ -52,6 +53,11 @@ type Config struct {
 	IdleTimeout time.Duration
 	// Logf receives server diagnostics; nil means log.Printf.
 	Logf func(format string, args ...interface{})
+	// Metrics, when set, receives per-command counts, error counts and
+	// latency histograms (server.cmd.<cmd>.count / .errors / .ms), and
+	// is what the metrics wire command and a -debug-addr /metrics
+	// endpoint export. Nil disables instrumentation at zero cost.
+	Metrics *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -77,8 +83,10 @@ func (c *Config) fill() {
 
 // Server serves the QGP query protocol.
 type Server struct {
-	cfg Config
-	sem chan struct{}
+	cfg     Config
+	sem     chan struct{}
+	om      *serverMetrics
+	started time.Time
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -91,10 +99,69 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.fill()
 	return &Server{
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		conns: make(map[net.Conn]bool),
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		om:      newServerMetrics(cfg.Metrics),
+		started: time.Now(),
+		conns:   make(map[net.Conn]bool),
 	}
+}
+
+// commands is the full wire vocabulary; serverMetrics pre-resolves one
+// instrument set per command so the request path never touches the
+// registry's maps.
+var commands = []string{
+	"ping", "gen", "load", "update", "watch", "unwatch", "stats", "match",
+	"pmatch", "rule", "rpqfilter", "partition", "fragment", "assign", "metrics",
+}
+
+// cmdMetrics is one command's instruments.
+type cmdMetrics struct {
+	count  *obs.Counter
+	errors *obs.Counter
+	ms     *obs.Histogram
+}
+
+type serverMetrics struct {
+	byCmd   map[string]cmdMetrics
+	unknown cmdMetrics
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	if reg == nil {
+		return nil
+	}
+	sm := &serverMetrics{byCmd: make(map[string]cmdMetrics, len(commands))}
+	for _, cmd := range commands {
+		sm.byCmd[cmd] = cmdMetrics{
+			count:  reg.Counter("server.cmd." + cmd + ".count"),
+			errors: reg.Counter("server.cmd." + cmd + ".errors"),
+			ms:     reg.Histogram("server.cmd."+cmd+".ms", obs.LatencyBucketsMS),
+		}
+	}
+	sm.unknown = cmdMetrics{
+		count:  reg.Counter("server.cmd.unknown.count"),
+		errors: reg.Counter("server.cmd.unknown.errors"),
+		ms:     reg.Histogram("server.cmd.unknown.ms", obs.LatencyBucketsMS),
+	}
+	return sm
+}
+
+// record books one handled request; a no-op on a nil receiver
+// (Config.Metrics unset).
+func (sm *serverMetrics) record(cmd string, start time.Time, failed bool) {
+	if sm == nil {
+		return
+	}
+	m, ok := sm.byCmd[cmd]
+	if !ok {
+		m = sm.unknown
+	}
+	m.count.Inc()
+	if failed {
+		m.errors.Inc()
+	}
+	m.ms.ObserveSince(start)
 }
 
 // Serve accepts connections on ln until Shutdown. It always returns a
@@ -304,6 +371,10 @@ func (s *Server) handle(sess *session, req *Request) Response {
 		err = s.handleFragment(sess, req, &resp)
 	case "assign":
 		err = s.handleAssign(sess, req, &resp)
+	case "metrics":
+		// The registry snapshot over the wire: a newline-JSON client can
+		// scrape a session's server without a debug HTTP listener.
+		resp.Obs = s.cfg.Metrics.JSON()
 	default:
 		err = fmt.Errorf("unknown command %q", req.Cmd)
 	}
@@ -311,7 +382,25 @@ func (s *Server) handle(sess *session, req *Request) Response {
 		resp.Error = err.Error()
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.om.record(req.Cmd, start, err != nil)
 	return resp
+}
+
+// Health reports the server's liveness state — what a -debug-addr
+// /healthz endpoint serves for qgpd: process uptime and the number of
+// open connections (sessions).
+func (s *Server) Health() (interface{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	status := "ok"
+	if s.shutdown {
+		status = "shutting-down"
+	}
+	return map[string]interface{}{
+		"status":        status,
+		"connections":   len(s.conns),
+		"uptimeSeconds": time.Since(s.started).Seconds(),
+	}, nil
 }
 
 // BuildGraph constructs the graph a gen or load request describes
