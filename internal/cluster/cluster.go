@@ -98,13 +98,22 @@ type Config struct {
 // workers through the wire protocol. Methods are safe for concurrent use;
 // requests to distinct workers run in parallel.
 type Coordinator struct {
-	mu      sync.Mutex
-	cfg     Config
-	om      *coordMetrics
-	g       *graph.Graph // authoritative global graph (edge-set normalized)
+	mu  sync.Mutex
+	cfg Config
+	om  *coordMetrics
+	g   *graph.Graph // authoritative global graph (edge-set normalized)
+	// vg maintains g in place: Update applies each accepted batch as a
+	// delta through the versioned core instead of rebuilding the graph,
+	// and hands the pre-batch OldView to affected-set computation and
+	// failover re-shipping.
+	vg      *graph.Versioned
 	workers []*worker
 	watches map[string]string // watch name → pattern DSL (for failover re-registration)
-	closed  bool
+	// watchHops tracks each watch's maintenance radius; Update re-verifies
+	// only within the largest registered radius instead of the (usually
+	// wider) fragmentation radius D.
+	watchHops map[string]int
+	closed    bool
 	// failed is set when a worker failed mid-update with no failover
 	// left, leaving fragments possibly inconsistent; every later
 	// request is refused.
@@ -166,7 +175,10 @@ func New(g *graph.Graph, ts []Transport, cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	c := &Coordinator{cfg: cfg, g: g, watches: make(map[string]string)}
+	// The normalized graph is a fresh copy (dynamic.Apply rebuilds), so
+	// the versioned core can own it outright.
+	vg := graph.NewVersioned(g)
+	c := &Coordinator{cfg: cfg, g: vg.Graph(), vg: vg, watches: make(map[string]string), watchHops: make(map[string]int)}
 	c.om = newCoordMetrics(cfg.Metrics, len(ts))
 	c.workers = make([]*worker, len(ts))
 	for i, f := range p.Fragments {
@@ -311,11 +323,14 @@ func endpointOf(t Transport) int {
 	return -1
 }
 
-// Graph returns the coordinator's authoritative global graph.
+// Graph returns a snapshot of the coordinator's authoritative global
+// graph. The snapshot is a deep copy: the live graph mutates in place
+// under Update, and callers (oracles, stats, tests) hold snapshots
+// across updates.
 func (c *Coordinator) Graph() *graph.Graph {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.g
+	return c.g.Clone()
 }
 
 // D returns the hop radius the fragmentation preserves.

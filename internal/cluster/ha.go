@@ -72,7 +72,7 @@ func (e *WorkerError) Unwrap() error { return e.Err }
 // retry on the new primary. A protocol-level failure (the worker
 // answered with an error response, client.ServerError) is returned as
 // is: the worker is alive, so killing it would not help.
-func (c *Coordinator) sendPrimary(w *worker, op string, req *server.Request, state *graph.Graph) (*server.Response, error) {
+func (c *Coordinator) sendPrimary(w *worker, op string, req *server.Request, state graph.View) (*server.Response, error) {
 	// Each failover consumes a warm replica or a pool session, so the
 	// retry loop is bounded; +2 covers the initial attempt and one
 	// final re-ship after the replica list is exhausted. The bound is
@@ -105,7 +105,7 @@ func (c *Coordinator) sendPrimary(w *worker, op string, req *server.Request, sta
 // point. On error the fragment has no serving primary, but the
 // coordinator is not failed: a later call may succeed once the pool
 // recovers.
-func (c *Coordinator) failover(w *worker, state *graph.Graph) error {
+func (c *Coordinator) failover(w *worker, state graph.View) error {
 	w.primary.t.Close()
 	for len(w.replicas) > 0 {
 		r := w.replicas[0]
@@ -153,7 +153,7 @@ func (c *Coordinator) enlistWatches(r *replica) error {
 // reship rebuilds w's fragment on a fresh pool session from state.
 // Induced preserves the order of w.toGlobal, so the new session's local
 // id space is identical to the lost one's.
-func (c *Coordinator) reship(w *worker, state *graph.Graph) (*replica, error) {
+func (c *Coordinator) reship(w *worker, state graph.View) (*replica, error) {
 	req, err := w.shipRequest(state)
 	if err != nil {
 		return nil, err
@@ -163,8 +163,8 @@ func (c *Coordinator) reship(w *worker, state *graph.Graph) (*replica, error) {
 
 // shipRequest serializes w's fragment at the given authoritative-graph
 // sync point into a fragment command.
-func (w *worker) shipRequest(state *graph.Graph) (*server.Request, error) {
-	sub, _ := state.Induced(w.toGlobal)
+func (w *worker) shipRequest(state graph.View) (*server.Request, error) {
+	sub, _ := graph.InducedOf(state, w.toGlobal)
 	var buf bytes.Buffer
 	if _, err := sub.WriteTo(&buf); err != nil {
 		return nil, fmt.Errorf("serialize fragment %d: %w", w.id, err)

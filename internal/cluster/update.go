@@ -8,6 +8,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // UpdateResult reports one cluster-wide update batch.
@@ -19,9 +20,7 @@ type UpdateResult struct {
 	// anywhere. Affected sums the workers' re-verified candidate counts;
 	// workers re-verify exactly the coordinator-computed affected set
 	// restricted to their owned candidates, so the sum tracks the
-	// single-process count within the fragmentation radius (it can exceed
-	// the single-process number when a watch's pattern needs fewer hops
-	// than the fragmentation preserves).
+	// single-process count at the largest standing-watch radius.
 	Deltas []server.WatchDelta
 	// Contacted lists the workers (ascending id) that received traffic:
 	// exactly those whose fragment mirrors changed, whose owned candidates
@@ -29,9 +28,9 @@ type UpdateResult struct {
 	// created. The others were not spoken to — the paper's "coordinator Sc
 	// assigns the changes to each fragment" routing (§5.2).
 	Contacted []int
-	// AffectedSize is the size of the coordinator-computed affected
-	// region (nodes within the fragmentation radius of a touched node,
-	// old or new graph) — the "work proportional to the change"
+	// AffectedSize is the size of the coordinator-computed re-verification
+	// region (nodes within the largest standing-watch radius of a touched
+	// node, old or new graph) — the "work proportional to the change"
 	// observable: for a small batch on a large graph it should be far
 	// below |V|.
 	AffectedSize int
@@ -59,8 +58,10 @@ func (p *workerPlan) empty() bool {
 
 // Update applies a global mutation batch: the coordinator applies it to
 // its authoritative graph, journals it (when configured) before any
-// fan-out, computes the affected region (every node within the
-// fragmentation radius of a touched node, in the old or new graph), and
+// fan-out, computes the affected regions (every node within the
+// fragmentation radius of a touched node for materialization upkeep,
+// and within the largest standing-watch radius for re-verification, in
+// the old or new graph), and
 // routes one combined wire batch to only the workers whose fragments
 // intersect that region — local mutations, newly assigned owned nodes,
 // and the affected set restricted to the worker's owned candidates all
@@ -97,26 +98,64 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err 
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	oldG := c.g
-	newG, touched, err := dynamic.Apply(oldG, ups)
+	// The batch applies to the authoritative graph in place; oldG is the
+	// pre-batch view the versioned core hands back — the "deletions are
+	// measured in the old graph" side of the affected-set computation and
+	// the sync-point state a mid-batch failover re-ships from.
+	oldG, touched, err := dynamic.ApplyVersioned(c.vg, ups)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
+	newG := c.vg.Graph()
 	tr.Span(-1, "apply", tapply)
 	// The batch is accepted: journal it before any worker sees it, so a
 	// coordinator crash during fan-out cannot lose an applied batch.
 	// A journal append failure rejects the batch with the cluster still
-	// consistent (no fragment has been touched yet).
+	// consistent (no fragment has been touched yet — the in-place apply
+	// is rolled back).
 	if c.cfg.Journal != nil {
 		if err := c.cfg.Journal.AppendBatch(specs); err != nil {
+			if rerr := c.vg.Rollback(oldG); rerr != nil {
+				// The authoritative graph is ahead of both journal and
+				// fragments and cannot be walked back: fail-stop.
+				c.failed = fmt.Errorf("cluster: journal: %v (rollback failed: %v)", err, rerr)
+				return nil, c.failed
+			}
 			return nil, fmt.Errorf("cluster: journal: %w", err)
 		}
 	}
-	affected := dynamic.AffectedWithin(oldG, newG, touched, c.cfg.D)
-	tr.Annotatef("batch=%d touched=%d affected=%d", len(specs), len(touched), len(affected))
+	// Two affected regions: answer re-verification needs every node
+	// within the largest standing-watch radius of a touched node (old or
+	// new graph), while fragment materialization upkeep is bounded by the
+	// (D-1)-ball around inserted-edge endpoints and batch-created nodes —
+	// a node can only move into an owned node's D-hop ball along a path
+	// through an inserted edge, and deletions never extend a fragment.
+	// Neither region needs the full D-hop ball of the whole touched set,
+	// which for a 1-edge batch can cover most of a dense graph.
+	reverifyHops := 0
+	for _, h := range c.watchHops {
+		if h > reverifyHops {
+			reverifyHops = h
+		}
+	}
+	reverify := dynamic.AffectedWithin(oldG, newG, touched, reverifyHops)
+	var insEnds []graph.NodeID
+	for _, u := range ups {
+		if u.Op == store.OpAddEdge {
+			insEnds = append(insEnds, graph.NodeID(u.From), graph.NodeID(u.To))
+		}
+	}
+	for v := oldG.NumNodes(); v < newG.NumNodes(); v++ {
+		insEnds = append(insEnds, graph.NodeID(v))
+	}
+	var matCand []graph.NodeID
+	if len(insEnds) > 0 {
+		matCand = dynamic.Ball(newG, insEnds, c.cfg.D-1)
+	}
+	tr.Annotatef("batch=%d touched=%d affected=%d matcand=%d", len(specs), len(touched), len(reverify), len(matCand))
 	if c.om != nil {
 		c.om.updateBatch.Observe(float64(len(specs)))
-		c.om.updateAffected.Observe(float64(len(affected)))
+		c.om.updateAffected.Observe(float64(len(reverify)))
 	}
 
 	// Assign each node the batch created to the worker owning the fewest.
@@ -144,7 +183,7 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err 
 	updDeltas := make([][]server.WatchDelta, len(c.workers))
 	err = c.fanOut(func(w *worker) error {
 		tplan := time.Now()
-		p := c.planFor(w, oldG, newG, touched, affected, assignTo)
+		p := c.planFor(w, oldG, newG, ups, touched, matCand, reverify, assignTo)
 		if p == nil || p.empty() {
 			if c.om != nil {
 				c.om.workersSkipped.Inc()
@@ -165,11 +204,11 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err 
 		}
 		// The id mapping is extended only after the primary holds the
 		// batch: failover before that point re-ships the pre-batch
-		// fragment (from oldG over the unextended id space) and replays
-		// the whole combined request — updates and assignment apply
-		// exactly once. Response deltas use post-batch local ids; they
-		// are translated after the fan-out, when the extension below is
-		// committed.
+		// fragment (from the oldG view over the unextended id space) and
+		// replays the whole combined request — updates and assignment
+		// apply exactly once. Response deltas use post-batch local ids;
+		// they are translated after the fan-out, when the extension below
+		// is committed.
 		trtt := time.Now()
 		resp, err := c.sendPrimary(w, "update", req, oldG)
 		if err != nil {
@@ -200,9 +239,11 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err 
 		c.failed = err
 		return nil, err
 	}
+	// c.g already is newG — the batch applied in place; the assignment
+	// keeps the field meaningful if the pointer ever diverges.
 	c.g = newG
 
-	out := &UpdateResult{Nodes: newG.NumNodes(), Edges: newG.NumEdges(), AffectedSize: len(affected)}
+	out := &UpdateResult{Nodes: newG.NumNodes(), Edges: newG.NumEdges(), AffectedSize: len(reverify)}
 	for i, hit := range contacted {
 		if hit {
 			out.Contacted = append(out.Contacted, i)
@@ -226,14 +267,27 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err 
 
 // planFor computes one worker's share of a global batch, or nil when the
 // batch cannot affect the worker: no touched node is materialized there,
-// no owned candidate is in the affected region, and no new node is being
-// assigned to it.
-func (c *Coordinator) planFor(w *worker, oldG, newG *graph.Graph, touched, affected []graph.NodeID, assignTo map[graph.NodeID]int) *workerPlan {
+// no owned candidate needs re-verification or materialization upkeep,
+// and no new node is being assigned to it. matCand is the (D-1)-ball
+// around inserted-edge endpoints and batch-created nodes (it bounds
+// materialization maintenance); reverify is the affected region at the
+// largest standing-watch radius (it scopes answer re-verification).
+func (c *Coordinator) planFor(w *worker, oldG graph.View, newG *graph.Graph, ups []dynamic.Update, touched, matCand, reverify []graph.NodeID, assignTo map[graph.NodeID]int) *workerPlan {
 	oldN := oldG.NumNodes()
 	var roots []graph.NodeID // owned candidates whose d-hop neighborhood must stay materialized
-	for _, v := range affected {
+	for _, v := range matCand {
 		if w.owned[v] {
 			roots = append(roots, v)
+		}
+	}
+	// The re-verification scope: the worker's owned share of the
+	// watch-radius affected set, in its (pre-batch, since owned nodes are
+	// always already materialized) local ids. Newly assigned nodes are
+	// excluded — the assignment itself evaluates them.
+	var affectedL []int64
+	for _, gv := range reverify {
+		if w.owned[gv] {
+			affectedL = append(affectedL, int64(w.toLocal[gv]))
 		}
 	}
 	touchedMat := false
@@ -249,7 +303,7 @@ func (c *Coordinator) planFor(w *worker, oldG, newG *graph.Graph, touched, affec
 			assign = append(assign, graph.NodeID(v))
 		}
 	}
-	if !touchedMat && len(roots) == 0 && len(assign) == 0 {
+	if !touchedMat && len(roots) == 0 && len(assign) == 0 && len(affectedL) == 0 {
 		return nil
 	}
 
@@ -258,21 +312,22 @@ func (c *Coordinator) planFor(w *worker, oldG, newG *graph.Graph, touched, affec
 	// (Lemma 9(1) needs the full neighborhood for fragment-local
 	// exactness). The fragment invariant — a root's old-graph
 	// neighborhood is already materialized — bounds what can be missing:
-	// a node newly within d hops of a root reached it through an inserted
-	// edge or node, i.e. through a touched node, so it lies in the
-	// affected region itself. The candidate pool is therefore the
-	// non-materialized slice of the affected set, and since undirected
-	// d-hop membership is symmetric, the work is one neighborhood
-	// expansion per element of the *smaller* side: from each pool node
-	// asking "is a root within d hops?" when the pool is small (the
-	// steady state, where it is empty — the old always-expand-every-root
-	// code was the planner's measured hot spot), or from each root
-	// asking "which pool nodes are within d hops?" when a multi-region
-	// batch makes the pool large while this worker has few roots.
+	// a node newly within d hops of a root reached it along a path
+	// through an inserted edge or a batch-created node, so both it and
+	// the root lie within d-1 hops of an insertion endpoint (matCand).
+	// The candidate pool is therefore the non-materialized slice of
+	// matCand, and since undirected d-hop membership is symmetric, the
+	// work is one neighborhood expansion per element of the *smaller*
+	// side: from each pool node asking "is a root within d hops?" when
+	// the pool is small (the steady state, where it is empty — the old
+	// always-expand-every-root code was the planner's measured hot
+	// spot), or from each root asking "which pool nodes are within d
+	// hops?" when a multi-region batch makes the pool large while this
+	// worker has few roots.
 	needed := make(map[graph.NodeID]bool)
 	if len(roots)+len(assign) > 0 {
 		var pool []graph.NodeID
-		for _, u := range affected {
+		for _, u := range matCand {
 			if !w.nodes[u] {
 				pool = append(pool, u)
 			}
@@ -324,10 +379,12 @@ func (c *Coordinator) planFor(w *worker, oldG, newG *graph.Graph, touched, affec
 		batch = append(batch, server.UpdateSpec{Op: "addNode", Label: newG.NodeLabelName(gv)})
 	}
 
-	// Edge diff between the old and new induced subgraphs. Only edges
-	// incident to a touched or newly materialized node can differ, so the
-	// candidate set is collected from those nodes' adjacency in both graph
-	// versions rather than by rescanning the fragment.
+	// Edge diff between the old and new induced subgraphs. The global
+	// edge delta is exactly the batch's net edge mutations plus the edges
+	// a removed node lost, and the mirror additionally gains every edge
+	// incident to a newly materialized node — so the candidate set comes
+	// straight from the batch and newMat adjacency instead of rescanning
+	// every touched node's (possibly hub-sized) neighborhood.
 	type ekey struct {
 		from, to graph.NodeID
 		label    string
@@ -335,17 +392,19 @@ func (c *Coordinator) planFor(w *worker, oldG, newG *graph.Graph, touched, affec
 	matOld := func(v graph.NodeID) bool { return w.nodes[v] }
 	matNew := func(v graph.NodeID) bool { return w.nodes[v] || needed[v] }
 	candidates := make(map[ekey]bool)
-	collectOld := func(v graph.NodeID) {
-		if int(v) >= oldN || !matOld(v) {
-			return
-		}
-		for _, e := range oldG.Out(v) {
-			if matOld(e.To) {
+	for _, u := range ups {
+		switch u.Op {
+		case store.OpAddEdge, store.OpRemoveEdge:
+			candidates[ekey{graph.NodeID(u.From), graph.NodeID(u.To), u.Label}] = true
+		case store.OpRemoveNode:
+			v := graph.NodeID(u.From)
+			if int(v) >= oldN {
+				continue
+			}
+			for _, e := range oldG.Out(v) {
 				candidates[ekey{v, e.To, oldG.LabelName(e.Label)}] = true
 			}
-		}
-		for _, e := range oldG.In(v) {
-			if matOld(e.To) {
+			for _, e := range oldG.In(v) {
 				candidates[ekey{e.To, v, oldG.LabelName(e.Label)}] = true
 			}
 		}
@@ -364,10 +423,6 @@ func (c *Coordinator) planFor(w *worker, oldG, newG *graph.Graph, touched, affec
 				candidates[ekey{e.To, v, newG.LabelName(e.Label)}] = true
 			}
 		}
-	}
-	for _, v := range touched {
-		collectOld(v)
-		collectNew(v)
 	}
 	for _, v := range newMat {
 		collectNew(v)
@@ -409,18 +464,10 @@ func (c *Coordinator) planFor(w *worker, oldG, newG *graph.Graph, touched, affec
 	for i, gv := range assign {
 		assignL[i] = int64(localOf(gv))
 	}
-	// The re-verification scope: the worker's owned share of the global
-	// affected set, in its (pre-batch, since owned nodes are always
-	// already materialized) local ids. Newly assigned nodes are excluded —
-	// the assignment itself evaluates them.
-	affectedL := make([]int64, len(roots))
-	for i, gv := range roots {
-		affectedL[i] = int64(w.toLocal[gv])
-	}
 	return &workerPlan{batch: batch, newMat: newMat, assign: assign, assignL: assignL, affected: affectedL}
 }
 
-func hasEdge(g *graph.Graph, from, to graph.NodeID, label string) bool {
+func hasEdge(g graph.View, from, to graph.NodeID, label string) bool {
 	l := g.LookupLabel(label)
 	if l == graph.NoLabel {
 		return false

@@ -74,6 +74,7 @@ func (c *Coordinator) Watch(name string, q *core.Pattern) (initial []graph.NodeI
 		}
 	}
 	c.watches[name] = pattern
+	c.watchHops[name] = parallel.RequiredHops(q)
 	if c.cfg.Journal != nil {
 		if err := c.cfg.Journal.WatchRegistered(name, pattern); err != nil {
 			// The watch is live on every worker but not durable; a
@@ -109,6 +110,7 @@ func (c *Coordinator) Unwatch(name string) error {
 		return err
 	}
 	delete(c.watches, name)
+	delete(c.watchHops, name)
 	if c.cfg.Journal != nil {
 		if err := c.cfg.Journal.WatchRemoved(name); err != nil {
 			c.failed = fmt.Errorf("journal unwatch %q: %w", name, err)

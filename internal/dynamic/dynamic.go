@@ -38,6 +38,12 @@ type edgeKey struct {
 // ids are stable: OpRemoveNode isolates the node but keeps its slot (the
 // store's tombstone semantics), so answer sets over old and new graphs
 // are directly comparable.
+//
+// Apply is the rebuild-the-world path: it re-materializes the full
+// edge-set model and finalizes a whole new graph, costing O(|G|) per
+// batch. The production layers run on ApplyVersioned instead; Apply is
+// retained as the differential oracle the versioned core is verified
+// against (and for one-shot callers that want a fresh graph value).
 func Apply(g *graph.Graph, ups []Update) (*graph.Graph, []graph.NodeID, error) {
 	// Build the edge-set model of g, then replay the batch in order.
 	labels := make([]string, g.NumNodes())
@@ -119,28 +125,113 @@ func Apply(g *graph.Graph, ups []Update) (*graph.Graph, []graph.NodeID, error) {
 	return ng, out, nil
 }
 
+// ApplyVersioned applies a batch to the versioned graph core in place:
+// the same update semantics (and touched-set contract) as Apply, at
+// cost proportional to |batch| + degree of the touched nodes instead of
+// |G|. It returns the pre-batch old view — the "deletions are measured
+// in the old graph" half of AffectedWithin — plus the sorted touched
+// set. Validation happens up front, so an error leaves the graph at its
+// prior version, untouched.
+func ApplyVersioned(vg *graph.Versioned, ups []Update) (*graph.OldView, []graph.NodeID, error) {
+	muts := make([]graph.Mutation, len(ups))
+	for i, u := range ups {
+		var op graph.MutationOp
+		switch u.Op {
+		case store.OpAddNode:
+			op = graph.MutAddNode
+		case store.OpAddEdge:
+			op = graph.MutAddEdge
+		case store.OpRemoveEdge:
+			op = graph.MutRemoveEdge
+		case store.OpRemoveNode:
+			op = graph.MutRemoveNode
+		default:
+			return nil, nil, fmt.Errorf("dynamic: unknown update op %d", u.Op)
+		}
+		muts[i] = graph.Mutation{Op: op, From: graph.NodeID(u.From), To: graph.NodeID(u.To), Label: u.Label}
+	}
+	old, touched, err := vg.Apply(muts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dynamic: %w", err)
+	}
+	return old, touched, nil
+}
+
 // AffectedWithin returns the sorted set of nodes within hops undirected
 // hops of any touched node, unioned over the old and the new graph: a
 // deletion affects nodes that could reach the endpoints before the change,
-// an insertion affects nodes that can reach them after.
-func AffectedWithin(oldG, newG *graph.Graph, touched []graph.NodeID, hops int) []graph.NodeID {
-	seen := make(map[graph.NodeID]bool)
-	collect := func(g *graph.Graph) {
-		for _, v := range touched {
-			if int(v) >= g.NumNodes() {
-				continue // node added after this graph's version
-			}
-			for _, u := range g.Neighborhood(v, hops) {
-				seen[u] = true
-			}
+// an insertion affects nodes that can reach them after. The old side is
+// a graph.View so a versioned core's cheap pre-batch OldView serves it
+// without materializing a second graph.
+func AffectedWithin(oldG, newG graph.View, touched []graph.NodeID, hops int) []graph.NodeID {
+	n := oldG.NumNodes()
+	if m := newG.NumNodes(); m > n {
+		n = m
+	}
+	// One multi-source BFS per graph version over flat visited arrays:
+	// per-touched-node Neighborhood calls would re-walk (and re-sort) the
+	// shared ball once per source, which dominated the coordinator's
+	// update cost. Scanning the shared array ascending at the end yields
+	// the sorted union without a sort.
+	seen := make([]bool, n)
+	markBall(oldG, touched, hops, seen)
+	markBall(newG, touched, hops, seen)
+	out := make([]graph.NodeID, 0, len(touched))
+	for v, ok := range seen {
+		if ok {
+			out = append(out, graph.NodeID(v))
 		}
 	}
-	collect(oldG)
-	collect(newG)
-	out := make([]graph.NodeID, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// Ball returns the sorted set of nodes within hops undirected steps of
+// any source node over g; sources outside the graph are ignored. The
+// cluster coordinator uses it to bound fragment materialization upkeep
+// to the region around inserted edges.
+func Ball(g graph.View, sources []graph.NodeID, hops int) []graph.NodeID {
+	seen := make([]bool, g.NumNodes())
+	markBall(g, sources, hops, seen)
+	out := make([]graph.NodeID, 0, len(sources))
+	for v, ok := range seen {
+		if ok {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// markBall sets seen[v] for every node within hops undirected steps of a
+// source, via a multi-source BFS over g. Sources outside g are skipped.
+func markBall(g graph.View, sources []graph.NodeID, hops int, seen []bool) {
+	visited := make([]bool, g.NumNodes())
+	var frontier, next []graph.NodeID
+	for _, v := range sources {
+		if int(v) >= g.NumNodes() || visited[v] {
+			continue // node added after this graph's version
+		}
+		visited[v] = true
+		seen[v] = true
+		frontier = append(frontier, v)
+	}
+	for hop := 0; hop < hops && len(frontier) > 0; hop++ {
+		next = next[:0]
+		for _, v := range frontier {
+			for _, e := range g.Out(v) {
+				if !visited[e.To] {
+					visited[e.To] = true
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+			for _, e := range g.In(v) {
+				if !visited[e.To] {
+					visited[e.To] = true
+					seen[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
 }

@@ -18,7 +18,12 @@ type Matcher struct {
 	q    *core.Pattern
 	hops int
 	g    *graph.Graph
-	ans  map[graph.NodeID]bool
+	// vg is the matcher's private versioned core, adopted lazily on the
+	// first self-applied batch (Apply clones the caller's graph so the
+	// original is never mutated). Nil while the matcher only follows
+	// externally applied batches via ApplyShared/ApplyScoped.
+	vg  *graph.Versioned
+	ans map[graph.NodeID]bool
 	// restrict, when non-nil, limits the maintained answer set to these
 	// focus candidates (a cluster worker answers only for the nodes it
 	// owns); nil means every node is a candidate.
@@ -139,21 +144,34 @@ func (m *Matcher) Answers() []graph.NodeID {
 // it evaluates the pattern restricted to the affected focus candidates and
 // splices the result into the cached set. The returned delta lists the
 // membership changes.
+//
+// The batch runs through a private versioned core: the first Apply
+// clones the construction-time graph (so the caller's graph is never
+// mutated) and every later batch edits that clone in place, costing
+// |batch| + |affected d-hop region| instead of |G|.
 func (m *Matcher) Apply(ups []Update) (Delta, error) {
-	newG, touched, err := Apply(m.g, ups)
+	if m.vg == nil || m.vg.Graph() != m.g {
+		// Adopt (or re-adopt, after an interleaved ApplyShared moved the
+		// matcher onto an external graph) a private versioned copy.
+		m.vg = graph.NewVersioned(m.g.Clone())
+		m.g = m.vg.Graph()
+	}
+	old, touched, err := ApplyVersioned(m.vg, ups)
 	if err != nil {
 		return Delta{}, err
 	}
-	return m.ApplyShared(newG, touched)
+	return m.reverify(m.g, AffectedWithin(old, m.g, touched, m.hops))
 }
 
 // ApplyShared maintains the answers for a batch the caller already
-// applied: newG and touched are the results of dynamic.Apply over the
-// matcher's current graph. A holder of several matchers over one graph
-// (a server session with many standing watches) applies the batch once
-// and shares the result, instead of rebuilding the graph per watch.
-func (m *Matcher) ApplyShared(newG *graph.Graph, touched []graph.NodeID) (Delta, error) {
-	return m.reverify(newG, AffectedWithin(m.g, newG, touched, m.hops))
+// applied: old is the pre-batch view, and newG and touched are the
+// batch's results over the matcher's current graph (ApplyVersioned's
+// OldView/touched, or dynamic.Apply's output with the pre-batch graph
+// as old). A holder of several matchers over one graph (a server
+// session with many standing watches) applies the batch once and
+// shares the result, instead of applying it per watch.
+func (m *Matcher) ApplyShared(old graph.View, newG *graph.Graph, touched []graph.NodeID) (Delta, error) {
+	return m.reverify(newG, AffectedWithin(old, newG, touched, m.hops))
 }
 
 // ApplyScoped maintains the answers for a batch the caller already

@@ -284,27 +284,7 @@ func (g *Graph) NeighborhoodSize(v NodeID, d int) int {
 // by name. The input need not be sorted; duplicates are ignored.
 func (g *Graph) Induced(nodes []NodeID) (*Graph, []NodeID) {
 	g.mustFinal()
-	local := make(map[NodeID]NodeID, len(nodes))
-	sub := New(len(nodes))
-	var toGlobal []NodeID
-	for _, v := range nodes {
-		if _, ok := local[v]; ok {
-			continue
-		}
-		id := sub.AddNode(g.NodeLabelName(v))
-		local[v] = id
-		toGlobal = append(toGlobal, v)
-	}
-	for _, v := range toGlobal {
-		lv := local[v]
-		for _, e := range g.out[v] {
-			if lu, ok := local[e.To]; ok {
-				sub.AddEdge(lv, lu, g.interner.Name(e.Label))
-			}
-		}
-	}
-	sub.Finalize()
-	return sub, toGlobal
+	return InducedOf(g, nodes)
 }
 
 // Stats summarizes a graph for logging and the experiment reports.

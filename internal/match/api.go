@@ -159,6 +159,17 @@ func evalPattern(g *graph.Graph, p *core.Pattern, opts *Options, cfg evalConfig,
 	if opts != nil && opts.OrderBy != nil {
 		pref = opts.OrderBy(p)
 	}
+	set := combineRestrictions(g.NumNodes(), opts, restrict)
+	if cfg.useSim && set != nil && set.Count()*8 <= g.NumNodes() {
+		// Focus-scoped fast path: simulation and the acceptance filter
+		// cost O(|G|) per evaluation no matter how few focus candidates
+		// are asked about, while the anchored search itself only visits
+		// the candidates' neighborhoods. With a small restriction the
+		// label-based candidate sets win outright. Answers are identical:
+		// the filters are sound over-approximations that prune the
+		// search without changing the enumerated isomorphisms.
+		cfg.useSim, cfg.quantFilter = false, false
+	}
 	pr, err := compile(g, p, cfg.useSim, cfg.quantFilter, pref)
 	if err != nil {
 		return nil, nil
@@ -166,7 +177,6 @@ func evalPattern(g *graph.Graph, p *core.Pattern, opts *Options, cfg evalConfig,
 	if opts != nil {
 		pr.budget = opts.ExtensionBudget
 	}
-	set := combineRestrictions(g.NumNodes(), opts, restrict)
 	answers := evalPositive(pr, set, cfg.earlyAccept, m)
 	if pr.budgetExceeded {
 		return nil, ErrBudgetExceeded

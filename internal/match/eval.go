@@ -32,18 +32,29 @@ func evalPositive(pr *program, restrict *bitset.Set, earlyAccept bool, m *Metric
 		quantOut[e.From] = append(quantOut[e.From], ei)
 	}
 
+	// Iterate candidates in ascending bit order (ForEach is ordered)
+	// instead of materializing and sorting them, and walk whichever of
+	// the acceptance set and the restriction is smaller — a scoped
+	// re-verification restricts to a handful of nodes and must not pay
+	// a full sweep over every label-compatible candidate.
+	iter, filter := pr.accept[pr.p.Focus], restrict
+	if restrict != nil && restrict.Count() < iter.Count() {
+		iter, filter = restrict, pr.accept[pr.p.Focus]
+	}
 	var answers []graph.NodeID
-	for _, vx := range pr.focusCandidates() {
-		if restrict != nil && !restrict.Contains(int(vx)) {
-			continue
+	iter.ForEach(func(vi int) bool {
+		if filter != nil && !filter.Contains(vi) {
+			return true
 		}
+		vx := graph.NodeID(vi)
 		m.FocusCandidates++
 		if pr.matchFocus(vx, quantOut, earlyAccept, m) {
 			answers = append(answers, vx)
 		}
-		if pr.budgetExceeded {
-			return nil
-		}
+		return !pr.budgetExceeded
+	})
+	if pr.budgetExceeded {
+		return nil
 	}
 	return answers
 }

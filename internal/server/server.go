@@ -226,7 +226,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // session is the per-connection state.
 type session struct {
-	g       *graph.Graph
+	g *graph.Graph
+	// vg is the versioned core maintaining g in place: handleUpdate
+	// applies batches as deltas instead of rebuilding the graph, so g's
+	// pointer stays stable across updates (only setGraph replaces it).
+	vg      *graph.Versioned
 	st      *stats.Stats // lazily computed, reset on graph change
 	watches map[string]*dynamic.Matcher
 	// owned, when non-nil, marks the session as a cluster worker holding a
@@ -244,7 +248,8 @@ type session struct {
 // the old graph's nodes. Incremental changes go through handleUpdate,
 // which maintains the watches instead.
 func (sess *session) setGraph(g *graph.Graph) {
-	sess.g = g
+	sess.vg = graph.NewVersioned(g)
+	sess.g = sess.vg.Graph()
 	sess.st = nil
 	sess.watches = nil
 	sess.owned = nil
@@ -454,11 +459,13 @@ func (s *Server) handleGraph(sess *session, req *Request, resp *Response) error 
 	return nil
 }
 
-// handleUpdate applies a mutation batch to the session graph and
-// incrementally maintains every standing watch; an error anywhere in the
-// batch leaves the session graph unchanged (dynamic.Apply is
-// copy-on-write) and the watches untouched. The batch is applied once and
-// shared across the watches (Matcher.ApplyShared), not rebuilt per watch.
+// handleUpdate applies a mutation batch to the session graph in place
+// through the versioned core and incrementally maintains every standing
+// watch; an error anywhere in the batch leaves the session graph
+// unchanged (ApplyVersioned validates up front, and post-apply
+// validation failures roll the batch back) and the watches untouched.
+// The batch is applied once and shared across the watches
+// (Matcher.ApplyShared with the pre-batch old view), not per watch.
 //
 // On a fragment session the request may additionally carry the cluster
 // coordinator's routing: Scoped + Affected narrow re-verification to the
@@ -478,39 +485,50 @@ func (s *Server) handleUpdate(sess *session, req *Request, resp *Response) error
 	}
 	ng := sess.g
 	var touched []graph.NodeID
+	var old *graph.OldView
 	if len(req.Updates) > 0 {
 		ups, err := ToUpdates(req.Updates)
 		if err != nil {
 			return err
 		}
-		ng, touched, err = dynamic.Apply(sess.g, ups)
+		old, touched, err = dynamic.ApplyVersioned(sess.vg, ups)
 		if err != nil {
 			return err
 		}
-		if ng.Size() > s.cfg.MaxGraphSize {
-			return fmt.Errorf("updated graph size %d exceeds server cap %d", ng.Size(), s.cfg.MaxGraphSize)
+		ng = sess.vg.Graph() // same pointer as sess.g: the batch applied in place
+	}
+	// The batch is already applied, so revert undoes it when a later
+	// validation step rejects the request — keeping the contract that an
+	// error leaves graph, watches and ownership untouched (a client may
+	// retry an errored batch, and addNode is not idempotent).
+	revert := func(cause error) error {
+		if old == nil {
+			return cause
 		}
+		if rerr := sess.vg.Rollback(old); rerr != nil {
+			return fmt.Errorf("%w (rollback failed: %v)", cause, rerr)
+		}
+		return cause
+	}
+	if old != nil && ng.Size() > s.cfg.MaxGraphSize {
+		return revert(fmt.Errorf("updated graph size %d exceeds server cap %d", ng.Size(), s.cfg.MaxGraphSize))
 	}
 	// Validate everything the request names — affected candidates and
-	// assigned nodes, both in the post-batch id space — before any state
-	// commits, keeping the contract that an error leaves graph, watches
-	// and ownership untouched (a client may retry an errored batch, and
-	// addNode is not idempotent).
+	// assigned nodes, both in the post-batch id space — before the
+	// watches see the batch.
 	var scoped []graph.NodeID
 	if req.Scoped {
 		var err error
 		if scoped, err = localNodes(ng, req.Affected); err != nil {
-			return fmt.Errorf("update: %w", err)
+			return revert(fmt.Errorf("update: %w", err))
 		}
 	}
 	assign, err := localNodes(ng, req.Owned)
 	if err != nil {
-		return fmt.Errorf("update: %w", err)
+		return revert(fmt.Errorf("update: %w", err))
 	}
-	// The batch is validated; commit the new graph. Graph replacement
-	// must not drop the watches: swap in place and reset only the cached
-	// statistics.
-	sess.g = ng
+	// The batch is validated; commit. The graph already mutated in
+	// place, so only the cached statistics reset.
 	sess.st = nil
 	if len(req.Updates) > 0 {
 		// An assign-only batch skips this: nothing changed in the graph,
@@ -522,7 +540,7 @@ func (s *Server) handleUpdate(sess *session, req *Request, resp *Response) error
 			if req.Scoped {
 				delta, err = m.ApplyScoped(ng, scoped)
 			} else {
-				delta, err = m.ApplyShared(ng, touched)
+				delta, err = m.ApplyShared(old, ng, touched)
 			}
 			if err != nil {
 				return fmt.Errorf("watch %q: %w", name, err)

@@ -13,9 +13,11 @@
 // interrupted compaction: the manifest flip is atomic, and replay skips
 // records already folded into the snapshot by sequence number.
 //
-// The store keeps the graph materialized in memory; Graph() returns a
-// finalized immutable view that is replaced (not mutated) on Apply, so
-// concurrent readers can keep using a previously returned graph.
+// The store keeps the graph materialized in memory, maintained in
+// place by the versioned graph core (one delta apply per batch, cost
+// proportional to the batch); Graph() returns a finalized immutable
+// snapshot that is replaced (not mutated) on Apply, so concurrent
+// readers can keep using a previously returned graph.
 package store
 
 import (
@@ -24,7 +26,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"sync"
 
@@ -50,19 +51,13 @@ type Store struct {
 	opts Options
 
 	mu       sync.Mutex
-	labels   []string         // node labels, dense ids
-	edges    map[edgeKey]bool // current edge set
+	vg       *graph.Versioned // live state, maintained in place per batch
 	nextSeq  uint64           // seq of the next mutation to journal
 	snapSeq  uint64           // seq folded into the live snapshot
 	jw       *journalWriter   // open journal appender
-	view     *graph.Graph     // cached materialization; nil when dirty
+	view     *graph.Graph     // cached immutable snapshot; nil when dirty
 	recovery RecoveryInfo     // what Open found
 	closed   bool
-}
-
-type edgeKey struct {
-	from, to int32
-	label    string
 }
 
 type manifest struct {
@@ -76,7 +71,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, opts: opts, edges: make(map[edgeKey]bool)}
+	s := &Store{dir: dir, opts: opts, vg: graph.NewVersioned(graph.New(0))}
 
 	man, err := readManifest(filepath.Join(dir, manifestName))
 	switch {
@@ -158,14 +153,14 @@ func (s *Store) Recovery() RecoveryInfo {
 func (s *Store) NumNodes() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.labels)
+	return s.vg.Graph().NumNodes()
 }
 
 // NumEdges returns the current edge count.
 func (s *Store) NumEdges() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.edges)
+	return s.vg.Graph().NumEdges()
 }
 
 // JournalBytes reports the on-disk size of the mutation journal: the
@@ -195,57 +190,72 @@ func (s *Store) Apply(muts ...Mutation) (firstNode int32, err error) {
 		return -1, fmt.Errorf("store: closed")
 	}
 	// Validate against the projected node count so a batch can add a node
-	// and immediately connect it.
-	n := len(s.labels)
+	// and immediately connect it. (The versioned core re-validates with
+	// the same rules; checking here keeps invalid batches out of the
+	// journal before any bytes are written.)
+	n := s.vg.Graph().NumNodes()
+	firstNode = -1
 	for _, m := range muts {
 		if err := m.validate(n); err != nil {
 			return -1, err
 		}
 		if m.Op == OpAddNode {
+			if firstNode < 0 {
+				firstNode = int32(n)
+			}
 			n++
 		}
 	}
 	if err := s.jw.append(s.nextSeq, muts); err != nil {
 		return -1, fmt.Errorf("store: journal append: %w", err)
 	}
-	firstNode = -1
-	for _, m := range muts {
-		if m.Op == OpAddNode && firstNode < 0 {
-			firstNode = int32(len(s.labels))
-		}
-		if err := s.applyLocked(m); err != nil {
-			return -1, err
-		}
-		s.nextSeq++
+	if _, _, err := s.vg.Apply(toGraphMutations(muts)); err != nil {
+		// Unreachable: the batch passed the identical validation above.
+		return -1, fmt.Errorf("store: %w", err)
 	}
+	s.nextSeq += uint64(len(muts))
+	s.view = nil
 	return firstNode, nil
 }
 
-// applyLocked applies one validated mutation to the in-memory state.
+// applyLocked applies one validated mutation to the in-memory state
+// (the journal-replay path: records re-apply one at a time through the
+// versioned core, with per-record sequence checking in the caller).
 func (s *Store) applyLocked(m Mutation) error {
-	if err := m.validate(len(s.labels)); err != nil {
+	if err := m.validate(s.vg.Graph().NumNodes()); err != nil {
 		return err
 	}
-	switch m.Op {
-	case OpAddNode:
-		s.labels = append(s.labels, m.Label)
-	case OpAddEdge:
-		s.edges[edgeKey{m.From, m.To, m.Label}] = true
-	case OpRemoveEdge:
-		delete(s.edges, edgeKey{m.From, m.To, m.Label})
-	case OpRemoveNode:
-		for k := range s.edges {
-			if k.from == m.From || k.to == m.From {
-				delete(s.edges, k)
-			}
-		}
+	if _, _, err := s.vg.Apply(toGraphMutations([]Mutation{m})); err != nil {
+		return fmt.Errorf("store: %w", err)
 	}
 	s.view = nil
 	return nil
 }
 
+// toGraphMutations converts the store's journal vocabulary to the graph
+// core's delta vocabulary (a one-to-one mapping).
+func toGraphMutations(muts []Mutation) []graph.Mutation {
+	out := make([]graph.Mutation, len(muts))
+	for i, m := range muts {
+		var op graph.MutationOp
+		switch m.Op {
+		case OpAddNode:
+			op = graph.MutAddNode
+		case OpAddEdge:
+			op = graph.MutAddEdge
+		case OpRemoveEdge:
+			op = graph.MutRemoveEdge
+		case OpRemoveNode:
+			op = graph.MutRemoveNode
+		}
+		out[i] = graph.Mutation{Op: op, From: graph.NodeID(m.From), To: graph.NodeID(m.To), Label: m.Label}
+	}
+	return out
+}
+
 // Graph returns the current state as a finalized graph. The returned
-// graph is immutable: later Apply calls build a new one.
+// graph is immutable: it is a snapshot copy of the live in-place state,
+// cached until the next mutation, so later Apply calls never touch it.
 func (s *Store) Graph() *graph.Graph {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -253,35 +263,10 @@ func (s *Store) Graph() *graph.Graph {
 }
 
 func (s *Store) graphLocked() *graph.Graph {
-	if s.view != nil {
-		return s.view
+	if s.view == nil {
+		s.view = s.vg.Graph().Clone()
 	}
-	g := graph.New(len(s.labels))
-	for _, l := range s.labels {
-		g.AddNode(l)
-	}
-	// Sort keys for a deterministic build (Finalize sorts adjacency, but
-	// interner ids follow first-use order).
-	keys := make([]edgeKey, 0, len(s.edges))
-	for k := range s.edges {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.from != b.from {
-			return a.from < b.from
-		}
-		if a.to != b.to {
-			return a.to < b.to
-		}
-		return a.label < b.label
-	})
-	for _, k := range keys {
-		g.AddEdge(graph.NodeID(k.from), graph.NodeID(k.to), k.label)
-	}
-	g.Finalize()
-	s.view = g
-	return g
+	return s.view
 }
 
 // ImportGraph replaces the store contents with g and compacts. It is the
@@ -292,15 +277,10 @@ func (s *Store) ImportGraph(g *graph.Graph) error {
 	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
-	s.labels = make([]string, g.NumNodes())
-	s.edges = make(map[edgeKey]bool, g.NumEdges())
-	for vi := 0; vi < g.NumNodes(); vi++ {
-		v := graph.NodeID(vi)
-		s.labels[vi] = g.NodeLabelName(v)
-		for _, e := range g.Out(v) {
-			s.edges[edgeKey{int32(v), int32(e.To), g.LabelName(e.Label)}] = true
-		}
-	}
+	// Clone: callers (the HA journal's SetGraph receives the cluster
+	// coordinator's live graph) keep mutating g afterwards; the store's
+	// state must not alias it.
+	s.vg = graph.NewVersioned(g.Clone())
 	s.view = nil
 	return s.compactLocked()
 }
@@ -333,7 +313,9 @@ func (s *Store) writeSnapshotLocked(seq uint64) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := s.graphLocked().WriteBinary(f); err != nil {
+	// Serialize the live graph directly: no snapshot clone needed while
+	// the lock is held.
+	if err := s.vg.Graph().WriteBinary(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("store: snapshot write: %w", err)
@@ -423,16 +405,10 @@ func (s *Store) loadSnapshot(path string) error {
 	if err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
-	s.labels = make([]string, g.NumNodes())
-	s.edges = make(map[edgeKey]bool, g.NumEdges())
-	for vi := 0; vi < g.NumNodes(); vi++ {
-		v := graph.NodeID(vi)
-		s.labels[vi] = g.NodeLabelName(v)
-		for _, e := range g.Out(v) {
-			s.edges[edgeKey{int32(v), int32(e.To), g.LabelName(e.Label)}] = true
-		}
-	}
-	s.view = g
+	// The decoded graph is owned by the store; the journal suffix (if
+	// any) replays into it in place.
+	s.vg = graph.NewVersioned(g)
+	s.view = nil
 	return nil
 }
 

@@ -11,6 +11,13 @@ import (
 	"repro/internal/graph"
 )
 
+// edgeKey is the tests' reference edge-set model — what the store's
+// in-memory state was before the versioned graph core replaced it.
+type edgeKey struct {
+	from, to int32
+	label    string
+}
+
 func openT(t *testing.T, dir string) *Store {
 	t.Helper()
 	s, err := Open(dir, Options{})
