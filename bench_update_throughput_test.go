@@ -146,6 +146,37 @@ func BenchmarkUpdateThroughput(b *testing.B) {
 		})
 	}
 
+	// Instrumentation overhead: the same workers=2 workload with every
+	// batch profiled (per-stage timings on the coordinator, the profile
+	// command on the workers). The acceptance bar is that
+	// profile_overhead stays within a few percent of the plain
+	// workers=2 number — profiling is cheap enough to leave on.
+	b.Run("workers=2,profile", func(b *testing.B) {
+		ts := cluster.InProcessN(2, server.Config{})
+		c, err := cluster.New(g, ts, cluster.Config{D: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		for i, q := range qs {
+			if _, err := c.Watch(fmt.Sprintf("w%d", i), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.UpdateProfiled(batchFor(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ns := avgNs(b)
+		record["cluster2_profiled_ns_per_batch"] = ns
+		record["cluster2_profiled_batches_per_sec"] = perSec(ns)
+		if base, ok := record["cluster2_ns_per_batch"].(int64); ok && base > 0 {
+			record["profile_overhead"] = float64(ns-base) / float64(base)
+		}
+	})
+
 	if os.Getenv("QGP_BENCH_RECORD") != "" {
 		b.StopTimer()
 		f, err := os.Create("BENCH_update_throughput.json")

@@ -29,8 +29,16 @@
 //
 //	qgpcluster -addr :7688 -spawn 2 -debug-addr :7699 -trace
 //	curl -s localhost:7699/metrics   # counters, gauges, latency histograms
+//	curl -s 'localhost:7699/metrics?format=prom'   # Prometheus text format
+//	curl -s 'localhost:7699/metrics?window=1'      # last-window p50/p95/p99
+//	curl -s 'localhost:7699/debug/traces?slow=1'   # recent slow fan-outs
 //	curl -s localhost:7699/healthz   # topology + per-fragment liveness
 //	curl -s localhost:7699/debug/pprof/   # standard runtime profiles
+//
+// The trace ring buffer behind /debug/traces (-trace-buf, -trace-slow)
+// is always on; -trace additionally logs each finished fan-out. The
+// explain and profile wire commands return merged cluster-level plan and
+// per-stage profile documents with each worker's own document embedded.
 //
 // The same registry snapshot is served over the wire protocol as the
 // metrics command, so a newline-JSON client needs no second port:
@@ -76,16 +84,24 @@ func main() {
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "close idle front-end connections after this long")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this HTTP address (empty: disabled)")
 	trace := flag.Bool("trace", false, "log one structured line per fan-out request with per-worker spans")
+	traceBuf := flag.Int("trace-buf", 128, "retain this many finished fan-out traces for /debug/traces")
+	traceSlow := flag.Float64("trace-slow", 50, "flag traces at or above this many milliseconds as slow (0 disables)")
+	window := flag.Duration("window", 10*time.Second, "latency percentile window length for /metrics?window=1")
 	flag.Parse()
 
 	// One registry is shared by every layer — front end, coordinators,
 	// embedded workers, supervision monitors and the journal — so the
 	// debug listener and the metrics wire command see the whole process.
 	reg := obs.NewRegistry()
-	var tracer *obs.Tracer
+	traces := obs.NewTraceBuffer(*traceBuf, *traceSlow)
+	var logf func(format string, args ...interface{})
 	if *trace {
-		tracer = obs.NewTracer(log.Printf)
+		logf = log.Printf
 	}
+	tracer := obs.NewTracerWith(logf, traces)
+	windows := obs.NewWindows(reg, *window)
+	windows.Start()
+	defer windows.Stop()
 
 	clusterCfg := cluster.Config{D: *d, Engine: *engine, Budget: *budget, Replicas: *replicas,
 		Metrics: reg, Tracer: tracer}
@@ -192,11 +208,16 @@ func main() {
 			}
 			return out, err
 		}
-		debug, err = obs.Serve(*debugAddr, reg, health)
+		debug, err = obs.ServeWith(*debugAddr, obs.HandlerConfig{
+			Registry: reg,
+			Health:   health,
+			Traces:   traces,
+			Windows:  windows,
+		})
 		if err != nil {
 			log.Fatalf("qgpcluster: debug listener: %v", err)
 		}
-		log.Printf("qgpcluster: debug endpoint on http://%s (/metrics /healthz /debug/pprof)", debug.Addr())
+		log.Printf("qgpcluster: debug endpoint on http://%s (/metrics /healthz /debug/traces /debug/pprof)", debug.Addr())
 	}
 
 	sigc := make(chan os.Signal, 1)

@@ -9,13 +9,25 @@
 //
 // Observability: -debug-addr starts an HTTP listener with the server's
 // metrics registry (per-command counts and latency histograms), a health
-// report and the runtime profiles:
+// report, retained request traces, windowed percentiles and the runtime
+// profiles:
 //
 //	qgpd -addr :7687 -debug-addr :7698
-//	curl -s localhost:7698/metrics
+//	curl -s localhost:7698/metrics                 # cumulative, JSON
+//	curl -s 'localhost:7698/metrics?format=prom'   # Prometheus text format
+//	curl -s 'localhost:7698/metrics?window=1'      # last-window p50/p95/p99
+//	curl -s 'localhost:7698/debug/traces?slow=1'   # recent slow requests
 //	curl -s localhost:7698/healthz
 //
-// The same snapshot is served in-protocol by the metrics command.
+// The cumulative snapshot is also served in-protocol by the metrics
+// command. -trace additionally logs one structured line per finished
+// request; the trace ring buffer (-trace-buf, -trace-slow) is always on.
+//
+// EXPLAIN/PROFILE: the explain command returns the planner's matching
+// order and cardinality estimates without executing; profile executes a
+// match or update and returns a per-stage document (candidate sizes,
+// order, timings; apply/affected/verify split and the affected-vs-|V|
+// work ratio for updates) in the response's profile field.
 //
 // Try it with netcat:
 //
@@ -43,10 +55,23 @@ func main() {
 	budget := flag.Int64("budget", 50_000_000, "default extension budget per query (-1 disables)")
 	maxGraph := flag.Int("max-graph", 50_000_000, "maximum session graph size (|V|+|E|)")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "close idle connections after this long")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this HTTP address (empty: disabled)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/traces and /debug/pprof on this HTTP address (empty: disabled)")
+	trace := flag.Bool("trace", false, "log one structured line per finished request")
+	traceBuf := flag.Int("trace-buf", 128, "retain this many finished request traces for /debug/traces")
+	traceSlow := flag.Float64("trace-slow", 50, "flag traces at or above this many milliseconds as slow (0 disables)")
+	window := flag.Duration("window", 10*time.Second, "latency percentile window length for /metrics?window=1")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
+	traces := obs.NewTraceBuffer(*traceBuf, *traceSlow)
+	var logf func(format string, args ...interface{})
+	if *trace {
+		logf = log.Printf
+	}
+	tracer := obs.NewTracerWith(logf, traces)
+	windows := obs.NewWindows(reg, *window)
+	windows.Start()
+	defer windows.Stop()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("qgpd: %v", err)
@@ -57,16 +82,22 @@ func main() {
 		MaxGraphSize:  *maxGraph,
 		IdleTimeout:   *idle,
 		Metrics:       reg,
+		Tracer:        tracer,
 	})
 	log.Printf("qgpd: listening on %s", ln.Addr())
 
 	var debug *obs.DebugServer
 	if *debugAddr != "" {
-		debug, err = obs.Serve(*debugAddr, reg, srv.Health)
+		debug, err = obs.ServeWith(*debugAddr, obs.HandlerConfig{
+			Registry: reg,
+			Health:   srv.Health,
+			Traces:   traces,
+			Windows:  windows,
+		})
 		if err != nil {
 			log.Fatalf("qgpd: debug listener: %v", err)
 		}
-		log.Printf("qgpd: debug endpoint on http://%s (/metrics /healthz /debug/pprof)", debug.Addr())
+		log.Printf("qgpd: debug endpoint on http://%s (/metrics /healthz /debug/traces /debug/pprof)", debug.Addr())
 	}
 
 	sigc := make(chan os.Signal, 1)

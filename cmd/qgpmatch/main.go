@@ -12,9 +12,13 @@
 // auto (native text/binary, default), csv (edge list: from,to,label), or
 // json (property-graph document). -rpq applies a quantified path
 // constraint ("expr within N quant") to the matches as a post-filter.
+// -profile prints the planner's explanation (matching order, per-step
+// cardinality estimates) and the per-pattern stage profile (candidate
+// sizes, order, timings) as one JSON document after the matches.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +47,7 @@ func main() {
 		format      = flag.String("format", "auto", "graph input format: auto, csv, json")
 		planner     = flag.Bool("planner", false, "choose the matching order from graph statistics")
 		constraint  = flag.String("rpq", "", "quantified path constraint post-filter, e.g. \"follow.follow within 2 >=5\"")
+		profile     = flag.Bool("profile", false, "print the plan explanation and per-stage profile as JSON (sequential engines)")
 	)
 	flag.Parse()
 	if *graphFile == "" || *patternFile == "" {
@@ -57,8 +62,12 @@ func main() {
 	start := time.Now()
 	var matches []graph.NodeID
 	var metrics match.Metrics
+	var prof *match.Profile
 
 	if *workers > 1 {
+		if *profile {
+			fatal(fmt.Errorf("-profile applies to the sequential engines; drop -workers"))
+		}
 		d := parallel.RequiredHops(q)
 		part, err := partition.DPar(g, partition.Config{Workers: *workers, D: d})
 		if err != nil {
@@ -86,11 +95,17 @@ func main() {
 		if *planner {
 			opts = &match.Options{OrderBy: plan.OrderFunc(g, stats.Collect(g))}
 		}
+		if *profile {
+			if opts == nil {
+				opts = &match.Options{}
+			}
+			opts.CollectProfile = true
+		}
 		res, err := run(g, q, opts)
 		if err != nil {
 			fatal(err)
 		}
-		matches, metrics = res.Matches, res.Metrics
+		matches, metrics, prof = res.Matches, res.Metrics, res.Profile
 	}
 	if *constraint != "" {
 		c, err := rpq.ParseConstraint(*constraint)
@@ -118,6 +133,20 @@ func main() {
 		fmt.Printf("metrics: focus_candidates=%d verifications=%d extensions=%d early_accepts=%d inc_runs=%d\n",
 			metrics.FocusCandidates, metrics.Verifications, metrics.Extensions,
 			metrics.EarlyAccepts, metrics.IncRuns)
+	}
+	if *profile && prof != nil {
+		doc := struct {
+			Plan    *plan.Explanation `json:"plan,omitempty"`
+			Profile *match.Profile    `json:"profile"`
+		}{Profile: prof}
+		if ex, err := plan.Explain(g, stats.Collect(g), q); err == nil {
+			doc.Plan = ex
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile:\n%s\n", b)
 	}
 }
 

@@ -162,6 +162,47 @@ func TestClusterDebugEndpointE2E(t *testing.T) {
 		t.Errorf("/debug/pprof/ status %d", code)
 	}
 
+	// A profile command through the front end returns the merged
+	// cluster-level document with per-fragment stages.
+	presp, err := c.ProfileMatch("qgp\nn xo person *\nn z person\ne xo z follow >=3\n", nil)
+	if err != nil {
+		t.Fatalf("profile match: %v", err)
+	}
+	var prof struct {
+		Workers   int               `json:"workers"`
+		Fragments []json.RawMessage `json:"fragments"`
+	}
+	if err := json.Unmarshal(presp.Profile, &prof); err != nil || prof.Workers != 2 || len(prof.Fragments) != 2 {
+		t.Errorf("merged profile document wrong: %v\n%s", err, presp.Profile)
+	}
+
+	// Prometheus exposition of the same registry.
+	code, body = get("/metrics?format=prom")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=prom status %d", code)
+	}
+	prom := string(body)
+	if !strings.Contains(prom, "qgp_cluster_update_count 1") || !strings.Contains(prom, `_bucket{le=`) {
+		t.Errorf("prom exposition missing counters or buckets:\n%.2000s", prom)
+	}
+
+	// The trace ring buffer retained the fan-outs as structured records.
+	code, body = get("/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", code)
+	}
+	var traces []obs.TraceRecord
+	if err := json.Unmarshal(body, &traces); err != nil || len(traces) == 0 {
+		t.Fatalf("/debug/traces = %v\n%s", err, body)
+	}
+	seen := map[string]bool{}
+	for _, tr := range traces {
+		seen[tr.Op] = true
+	}
+	if !seen["update"] || !seen["match"] {
+		t.Errorf("trace buffer missing update/match ops: %v", seen)
+	}
+
 	// -trace wrote structured fan-out lines to the process log.
 	if !strings.Contains(logBuf.String(), "op=update") {
 		t.Errorf("no trace line for the update in the process log:\n%s", logBuf.String())

@@ -24,6 +24,7 @@ func TestExamplesRun(t *testing.T) {
 		{"cybersecurity", "ok"},
 		{"dynamicgraph", "consistent"},
 		{"serverdemo", "ok"},
+		{"profiling", "work proportional to the change"},
 	}
 	for _, ex := range examples {
 		ex := ex

@@ -218,3 +218,44 @@ func (c *Client) Partition(workers, d int) (*server.Response, error) {
 func (c *Client) Stats(topK int) (*server.Response, error) {
 	return c.Do(&server.Request{Cmd: "stats", TopK: topK})
 }
+
+// Metrics returns the server's metrics-registry snapshot as raw JSON
+// (obs.Snapshot shape); "{}" when the server runs without a registry.
+func (c *Client) Metrics() (json.RawMessage, error) {
+	resp, err := c.Do(&server.Request{Cmd: "metrics"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Obs, nil
+}
+
+// Explain plans a QGP without executing it and returns the plan document
+// (matching order and per-step cardinality estimates) as raw JSON.
+func (c *Client) Explain(pattern string) (json.RawMessage, error) {
+	resp, err := c.Do(&server.Request{Cmd: "explain", Pattern: pattern})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Profile, nil
+}
+
+// ProfileMatch evaluates a QGP with per-stage profiling: the full
+// response (matches, metrics) plus the profile document in
+// Response.Profile.
+func (c *Client) ProfileMatch(pattern string, opts *MatchOptions) (*server.Response, error) {
+	req := &server.Request{Cmd: "profile", Pattern: pattern}
+	if opts != nil {
+		req.Engine = opts.Engine
+		req.Planner = opts.Planner
+		req.Budget = opts.Budget
+		req.Limit = opts.Limit
+	}
+	return c.Do(req)
+}
+
+// ProfileUpdate applies a mutation batch with per-stage profiling: the
+// full response (counts, watch deltas) plus the update stage document in
+// Response.Profile.
+func (c *Client) ProfileUpdate(updates ...server.UpdateSpec) (*server.Response, error) {
+	return c.Do(&server.Request{Cmd: "profile", Updates: updates})
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -79,7 +80,8 @@ func (c *FrontendConfig) fill() {
 // Frontend exposes a Coordinator through the qgpd wire protocol, so any
 // existing client (internal/client, netcat, the examples) can talk to a
 // cluster exactly as it talks to a single server. Commands gen, load,
-// match, update, watch, unwatch, stats, partition, metrics and ping are
+// match, update, watch, unwatch, stats, partition, metrics, explain,
+// profile and ping are
 // served; commands that only make sense against a local graph (pmatch,
 // rule, rpqfilter) report an error naming the limitation.
 type Frontend struct {
@@ -255,6 +257,10 @@ func (f *Frontend) handle(sess *feSession, req *server.Request) server.Response 
 		err = f.handleStats(sess, req, &resp)
 	case "partition":
 		err = f.handlePartition(sess, req, &resp)
+	case "explain":
+		err = f.handleExplain(sess, req, &resp)
+	case "profile":
+		err = f.handleProfile(sess, req, &resp)
 	case "metrics":
 		// The front end and its coordinators share one registry
 		// (FrontendConfig.Cluster.Metrics), so the snapshot covers every
@@ -457,6 +463,76 @@ func (f *Frontend) handleUpdate(sess *feSession, req *server.Request, resp *serv
 	sess.st = nil
 	resp.Nodes, resp.Edges = res.Nodes, res.Edges
 	resp.Deltas = res.Deltas
+	return nil
+}
+
+// handleExplain fans the plan-only command out and returns the merged
+// per-fragment plan documents in Profile.
+func (f *Frontend) handleExplain(sess *feSession, req *server.Request, resp *server.Response) error {
+	if sess.coord == nil {
+		return errNoCluster
+	}
+	q, err := core.Parse(req.Pattern)
+	if err != nil {
+		return err
+	}
+	ex, err := sess.coord.Explain(q)
+	if err != nil {
+		return err
+	}
+	return fillProfile(resp, ex)
+}
+
+// handleProfile dispatches like the single server's profile command: a
+// pattern profiles a cluster match, an update batch profiles the
+// maintenance pipeline. The merged cluster-level document travels in
+// Profile with each worker's own document embedded verbatim.
+func (f *Frontend) handleProfile(sess *feSession, req *server.Request, resp *server.Response) error {
+	if sess.coord == nil {
+		return errNoCluster
+	}
+	switch {
+	case len(req.Updates) > 0:
+		// Same client-vocabulary boundary as handleUpdate.
+		if len(req.Owned) > 0 || req.Scoped || len(req.Affected) > 0 {
+			return fmt.Errorf("update fields owned/scoped/affected are not served by the cluster front end; the coordinator computes routing itself")
+		}
+		res, prof, err := sess.coord.UpdateProfiled(req.Updates)
+		if err != nil {
+			return err
+		}
+		sess.st = nil
+		resp.Nodes, resp.Edges = res.Nodes, res.Edges
+		resp.Deltas = res.Deltas
+		return fillProfile(resp, prof)
+	case req.Pattern != "":
+		q, err := core.Parse(req.Pattern)
+		if err != nil {
+			return err
+		}
+		res, prof, err := sess.coord.ProfileMatch(q, &MatchOptions{
+			Engine:  req.Engine,
+			Budget:  req.Budget,
+			Planner: req.Planner,
+		})
+		if err != nil {
+			return err
+		}
+		server.FillMatches(resp, res.Matches, req.Limit)
+		resp.Metrics = &res.Metrics
+		return fillProfile(resp, prof)
+	default:
+		return fmt.Errorf("profile: request carries neither a pattern nor an update batch")
+	}
+}
+
+// fillProfile serializes a merged profile document into the response.
+func fillProfile(resp *server.Response, doc interface{}) error {
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	resp.Profile = b
 	return nil
 }
 

@@ -40,12 +40,30 @@ func (c *Coordinator) Match(q *core.Pattern) (*MatchResult, error) {
 }
 
 // MatchWith is Match with per-call options.
-func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (res *MatchResult, err error) {
+func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (*MatchResult, error) {
+	res, _, err := c.matchWith(q, opts, nil)
+	return res, err
+}
+
+// ProfileMatch is MatchWith plus a merged cluster-level profile: each
+// worker runs the profile command (so its response carries a per-stage
+// match profile of its fragment), and the coordinator assembles one
+// document with per-fragment compute/round-trip timings and the workers'
+// own stage documents embedded verbatim.
+func (c *Coordinator) ProfileMatch(q *core.Pattern, opts *MatchOptions) (*MatchResult, *MatchProfile, error) {
+	prof := &MatchProfile{Op: "match"}
+	res, prof, err := c.matchWith(q, opts, prof)
+	return res, prof, err
+}
+
+// matchWith runs one cluster match; prof non-nil switches the workers to
+// the profile command and collects the merged profile.
+func (c *Coordinator) matchWith(q *core.Pattern, opts *MatchOptions, prof *MatchProfile) (res *MatchResult, _ *MatchProfile, err error) {
 	if err := q.Validate(); err != nil {
-		return nil, fmt.Errorf("cluster: %w", err)
+		return nil, nil, fmt.Errorf("cluster: %w", err)
 	}
 	if need := parallel.RequiredHops(q); need > c.cfg.D {
-		return nil, fmt.Errorf("cluster: pattern needs %d-hop preservation but the fragmentation has d=%d", need, c.cfg.D)
+		return nil, nil, fmt.Errorf("cluster: pattern needs %d-hop preservation but the fragmentation has d=%d", need, c.cfg.D)
 	}
 	start := time.Now()
 	tr := c.cfg.Tracer.Start("match")
@@ -53,7 +71,7 @@ func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (res *Match
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.refuseLocked(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	engine, budget, planner := c.cfg.Engine, c.cfg.Budget, false
@@ -66,6 +84,17 @@ func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (res *Match
 		}
 		planner = opts.Planner
 	}
+	cmd := "match"
+	if prof != nil {
+		cmd = "profile"
+		if engine == "" {
+			prof.Engine = "qmatch"
+		} else {
+			prof.Engine = engine
+		}
+		prof.Workers = len(c.workers)
+		prof.Fragments = make([]FragmentProfile, len(c.workers))
+	}
 	pattern := q.String()
 	responses := make([]*server.Response, len(c.workers))
 	err = c.fanOut(func(w *worker) error {
@@ -73,8 +102,8 @@ func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (res *Match
 		// (against the current authoritative graph) and a plain retry
 		// are always safe.
 		t0 := time.Now()
-		resp, err := c.sendPrimary(w, "match", &server.Request{
-			Cmd:     "match",
+		resp, err := c.sendPrimary(w, cmd, &server.Request{
+			Cmd:     cmd,
 			Pattern: pattern,
 			Engine:  engine,
 			Budget:  budget,
@@ -92,11 +121,21 @@ func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (res *Match
 		if c.om != nil {
 			c.om.workerMatchMS[w.id].ObserveSince(t0)
 		}
+		if prof != nil {
+			// Each goroutine writes only its own slot; no lock needed.
+			prof.Fragments[w.id] = FragmentProfile{
+				Worker:    w.id,
+				Answers:   len(resp.Matches),
+				ComputeMS: resp.ElapsedMS,
+				RTTMS:     msSince(t0),
+				Profile:   resp.Profile,
+			}
+		}
 		responses[w.id] = resp
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	tm := time.Now()
@@ -105,7 +144,7 @@ func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (res *Match
 	for i, resp := range responses {
 		out.PerWorker[i] = len(resp.Matches)
 		if err := c.workers[i].mergeGlobal(resp.Matches, merged); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// Per-worker engine metrics fold into the cluster-wide totals:
 		// ownership partitions the focus candidates, so sums over the
@@ -116,9 +155,15 @@ func (c *Coordinator) MatchWith(q *core.Pattern, opts *MatchOptions) (res *Match
 	}
 	out.Matches = sortedSet(merged)
 	tr.Span(-1, "merge", tm)
+	if prof != nil {
+		prof.Matches = len(out.Matches)
+		prof.MergeMS = msSince(tm)
+		prof.TotalMS = msSince(start)
+		prof.Metrics = out.Metrics
+	}
 	if c.om != nil {
 		c.om.matchCount.Inc()
 		c.om.matchMS.ObserveSince(start)
 	}
-	return out, nil
+	return out, prof, nil
 }

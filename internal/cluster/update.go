@@ -70,6 +70,26 @@ func (p *workerPlan) empty() bool {
 // set instead of re-expanding the local batch (which materialization
 // traffic would inflate far beyond the globally affected region).
 // ClusterUpdate of the ISSUE's API naming.
+func (c *Coordinator) Update(specs []server.UpdateSpec) (*UpdateResult, error) {
+	return c.update(specs, nil)
+}
+
+// UpdateProfiled is Update plus a merged cluster-level profile: contacted
+// workers receive the profile command (so their responses carry per-stage
+// update documents for their fragments), and the coordinator records its
+// own pipeline stage timings — apply, journal, affected-region, fan-out,
+// merge — around them.
+func (c *Coordinator) UpdateProfiled(specs []server.UpdateSpec) (*UpdateResult, *UpdateProfile, error) {
+	prof := &UpdateProfile{Op: "update"}
+	res, err := c.update(specs, prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, prof, nil
+}
+
+// update runs one global batch; prof non-nil switches the contacted
+// workers to the profile command and fills the merged profile.
 //
 // The fan-out is pipelined: per-worker planning, serialization and I/O
 // run concurrently across workers (each plan touches only its own
@@ -81,7 +101,7 @@ func (p *workerPlan) empty() bool {
 // replays the batch exactly once. Only when no session survives
 // failover does the coordinator mark itself failed and refuse further
 // requests rather than serve possibly inconsistent answers.
-func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err error) {
+func (c *Coordinator) update(specs []server.UpdateSpec, prof *UpdateProfile) (res *UpdateResult, err error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("cluster: update: empty batch")
 	}
@@ -108,12 +128,16 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err 
 	}
 	newG := c.vg.Graph()
 	tr.Span(-1, "apply", tapply)
+	if prof != nil {
+		prof.ApplyMS = msSince(tapply)
+	}
 	// The batch is accepted: journal it before any worker sees it, so a
 	// coordinator crash during fan-out cannot lose an applied batch.
 	// A journal append failure rejects the batch with the cluster still
 	// consistent (no fragment has been touched yet — the in-place apply
 	// is rolled back).
 	if c.cfg.Journal != nil {
+		tj := time.Now()
 		if err := c.cfg.Journal.AppendBatch(specs); err != nil {
 			if rerr := c.vg.Rollback(oldG); rerr != nil {
 				// The authoritative graph is ahead of both journal and
@@ -123,7 +147,11 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err 
 			}
 			return nil, fmt.Errorf("cluster: journal: %w", err)
 		}
+		if prof != nil {
+			prof.JournalMS = msSince(tj)
+		}
 	}
+	taff := time.Now()
 	// Two affected regions: answer re-verification needs every node
 	// within the largest standing-watch radius of a touched node (old or
 	// new graph), while fragment materialization upkeep is bounded by the
@@ -153,6 +181,16 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err 
 		matCand = dynamic.Ball(newG, insEnds, c.cfg.D-1)
 	}
 	tr.Annotatef("batch=%d touched=%d affected=%d matcand=%d", len(specs), len(touched), len(reverify), len(matCand))
+	if prof != nil {
+		prof.AffectedMS = msSince(taff)
+		prof.BatchSize = len(specs)
+		prof.Touched = len(touched)
+		prof.Nodes = newG.NumNodes()
+		prof.AffectedSize = len(reverify)
+		if prof.Nodes > 0 {
+			prof.WorkRatio = float64(prof.AffectedSize) / float64(prof.Nodes)
+		}
+	}
 	if c.om != nil {
 		c.om.updateBatch.Observe(float64(len(specs)))
 		c.om.updateAffected.Observe(float64(len(reverify)))
@@ -181,6 +219,13 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err 
 	// with the serialization and I/O of another.
 	contacted := make([]bool, len(c.workers))
 	updDeltas := make([][]server.WatchDelta, len(c.workers))
+	cmd := "update"
+	var workerProfs []*WorkerUpdateProfile
+	if prof != nil {
+		cmd = "profile"
+		workerProfs = make([]*WorkerUpdateProfile, len(c.workers))
+	}
+	tfan := time.Now()
 	err = c.fanOut(func(w *worker) error {
 		tplan := time.Now()
 		p := c.planFor(w, oldG, newG, ups, touched, matCand, reverify, assignTo)
@@ -195,8 +240,20 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err 
 		if c.om != nil {
 			c.om.workersRouted.Inc()
 		}
+		var wp *WorkerUpdateProfile
+		if prof != nil {
+			// Each goroutine writes only its own slot; no lock needed.
+			wp = &WorkerUpdateProfile{
+				Worker:    w.id,
+				PlanMS:    msSince(tplan),
+				Mutations: len(p.batch),
+				Affected:  len(p.affected),
+				Assigned:  len(p.assignL),
+			}
+			workerProfs[w.id] = wp
+		}
 		req := &server.Request{
-			Cmd:      "update",
+			Cmd:      cmd,
 			Updates:  p.batch,
 			Owned:    p.assignL,
 			Scoped:   true,
@@ -219,6 +276,10 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err 
 		if c.om != nil {
 			c.om.workerUpdateMS[w.id].ObserveSince(trtt)
 		}
+		if wp != nil {
+			wp.RTTMS = msSince(trtt)
+			wp.Profile = resp.Profile
+		}
 		updDeltas[w.id] = resp.Deltas
 		for _, gv := range p.newMat {
 			w.toLocal[gv] = graph.NodeID(len(w.toGlobal))
@@ -232,12 +293,23 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err 
 			tmir := time.Now()
 			c.mirror(w, req)
 			tr.Span(w.id, "mirror", tmir)
+			if wp != nil {
+				wp.MirrorMS = msSince(tmir)
+			}
 		}
 		return nil
 	})
 	if err != nil {
 		c.failed = err
 		return nil, err
+	}
+	if prof != nil {
+		prof.FanoutMS = msSince(tfan)
+		for _, wp := range workerProfs {
+			if wp != nil {
+				prof.Workers = append(prof.Workers, *wp)
+			}
+		}
 	}
 	// c.g already is newG — the batch applied in place; the assignment
 	// keeps the field meaningful if the pointer ever diverges.
@@ -257,6 +329,10 @@ func (c *Coordinator) Update(specs []server.UpdateSpec) (res *UpdateResult, err 
 	}
 	out.Deltas = merged
 	tr.Span(-1, "merge", tm)
+	if prof != nil {
+		prof.MergeMS = msSince(tm)
+		prof.TotalMS = msSince(start)
+	}
 	if c.om != nil {
 		c.om.updateCount.Inc()
 		c.om.updateFanout.Observe(float64(len(out.Contacted)))

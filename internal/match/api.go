@@ -3,6 +3,7 @@ package match
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
@@ -10,10 +11,12 @@ import (
 )
 
 // Result is the outcome of a quantified matching run: the sorted matches
-// of the query focus, Q(xo, G), and the work metrics.
+// of the query focus, Q(xo, G), and the work metrics. Profile is non-nil
+// only when Options.CollectProfile was set.
 type Result struct {
 	Matches []graph.NodeID
 	Metrics Metrics
+	Profile *Profile
 }
 
 // Options tunes an evaluation.
@@ -35,6 +38,12 @@ type Options struct {
 	// nil or not a permutation. internal/plan provides a statistics-driven
 	// implementation.
 	OrderBy func(p *core.Pattern) []int
+	// CollectProfile, when set, records a per-stage Profile (prefilter
+	// sizes, matching order, timings) into Result.Profile. Collection
+	// cost is a handful of bitset counts and clock reads per compiled
+	// pattern — negligible against evaluation, but nonzero, so it is
+	// opt-in.
+	CollectProfile bool
 }
 
 // ErrBudgetExceeded is returned when Options.ExtensionBudget ran out
@@ -101,13 +110,18 @@ func eval(g *graph.Graph, q *core.Pattern, opts *Options, cfg evalConfig) (*Resu
 		return nil, fmt.Errorf("match: %w", err)
 	}
 	res := &Result{}
+	var t0 time.Time
+	if opts != nil && opts.CollectProfile {
+		res.Profile = &Profile{}
+		t0 = time.Now()
+	}
 
 	pi, _ := q.Pi()
 	if !pi.Connected() {
 		return nil, fmt.Errorf("match: Π(Q) is disconnected; the pattern cannot be evaluated")
 	}
 
-	base, err := evalPattern(g, pi, opts, cfg, nil, &res.Metrics)
+	base, err := evalPattern(g, pi, "pi", opts, cfg, nil, &res.Metrics, res.Profile)
 	if err != nil {
 		return nil, err
 	}
@@ -115,6 +129,7 @@ func eval(g *graph.Graph, q *core.Pattern, opts *Options, cfg evalConfig) (*Resu
 	neg := q.NegatedEdges()
 	if len(neg) == 0 || len(base) == 0 {
 		res.Matches = base
+		finishProfile(res, t0)
 		return res, nil
 	}
 
@@ -133,7 +148,7 @@ func eval(g *graph.Graph, q *core.Pattern, opts *Options, cfg evalConfig) (*Resu
 			restrict = base
 			res.Metrics.IncCandidates += len(base)
 		}
-		minus, err := evalPattern(g, pp, opts, cfg, restrict, &res.Metrics)
+		minus, err := evalPattern(g, pp, fmt.Sprintf("pi+e%d", ei), opts, cfg, restrict, &res.Metrics, res.Profile)
 		if err != nil {
 			return nil, err
 		}
@@ -148,13 +163,38 @@ func eval(g *graph.Graph, q *core.Pattern, opts *Options, cfg evalConfig) (*Resu
 		}
 	}
 	res.Matches = out
+	finishProfile(res, t0)
 	return res, nil
+}
+
+// finishProfile stamps the evaluation total onto a collected profile.
+func finishProfile(res *Result, t0 time.Time) {
+	if res.Profile == nil {
+		return
+	}
+	res.Profile.TotalMS = msSince(t0)
+	res.Profile.Metrics = res.Metrics
+}
+
+// msSince returns the elapsed time since t0 in fractional milliseconds.
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0).Microseconds()) / 1000
 }
 
 // evalPattern compiles and evaluates one positive pattern. restrict, when
 // non-nil, limits focus candidates (incremental evaluation); the caller's
-// FocusRestrict option is applied on top.
-func evalPattern(g *graph.Graph, p *core.Pattern, opts *Options, cfg evalConfig, restrict []graph.NodeID, m *Metrics) ([]graph.NodeID, error) {
+// FocusRestrict option is applied on top. name labels the pattern in the
+// profile; prof, when non-nil, receives one PatternProfile entry.
+func evalPattern(g *graph.Graph, p *core.Pattern, name string, opts *Options, cfg evalConfig, restrict []graph.NodeID, m *Metrics, prof *Profile) ([]graph.NodeID, error) {
+	var pp *PatternProfile
+	var before Metrics
+	var t0 time.Time
+	if prof != nil {
+		prof.Patterns = append(prof.Patterns, PatternProfile{Pattern: name})
+		pp = &prof.Patterns[len(prof.Patterns)-1]
+		before = *m
+		t0 = time.Now()
+	}
 	var pref []int
 	if opts != nil && opts.OrderBy != nil {
 		pref = opts.OrderBy(p)
@@ -169,18 +209,48 @@ func evalPattern(g *graph.Graph, p *core.Pattern, opts *Options, cfg evalConfig,
 		// the filters are sound over-approximations that prune the
 		// search without changing the enumerated isomorphisms.
 		cfg.useSim, cfg.quantFilter = false, false
+		if pp != nil {
+			pp.FastPath = true
+		}
+	}
+	if pp != nil && set != nil {
+		pp.Restricted = set.Count()
 	}
 	pr, err := compile(g, p, cfg.useSim, cfg.quantFilter, pref)
+	if pp != nil {
+		pp.CompileMS = msSince(t0)
+	}
 	if err != nil {
+		if pp != nil {
+			pp.Empty = true
+		}
 		return nil, nil
+	}
+	if pp != nil {
+		for u := range p.Nodes {
+			pp.Nodes = append(pp.Nodes, NodeProfile{
+				Name:       p.Nodes[u].Name,
+				Candidates: pr.cand[u].Count(),
+				Accepted:   pr.accept[u].Count(),
+			})
+		}
+		for _, u := range pr.order {
+			pp.Order = append(pp.Order, p.Nodes[u].Name)
+		}
 	}
 	if opts != nil {
 		pr.budget = opts.ExtensionBudget
 	}
+	t1 := time.Now()
 	answers := evalPositive(pr, set, cfg.earlyAccept, m)
 	if pr.budgetExceeded {
 		return nil, ErrBudgetExceeded
 	}
 	sort.Slice(answers, func(i, j int) bool { return answers[i] < answers[j] })
+	if pp != nil {
+		pp.EvalMS = msSince(t1)
+		pp.Answers = len(answers)
+		pp.Metrics = metricsDelta(*m, before)
+	}
 	return answers, nil
 }

@@ -5,33 +5,75 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
-// Handler serves the debug endpoint:
+// HandlerConfig wires the optional observability components into one
+// debug handler. Every field may be nil — the corresponding endpoint
+// then serves an empty document rather than disappearing, so probes do
+// not have to know which components a binary enabled.
+type HandlerConfig struct {
+	Registry *Registry
+	Health   func() (interface{}, error)
+	Traces   *TraceBuffer
+	Windows  *Windows
+}
+
+// Handler serves the debug endpoint over reg and health only; see
+// HandlerWith for the full configuration.
+func Handler(reg *Registry, health func() (interface{}, error)) http.Handler {
+	return HandlerWith(HandlerConfig{Registry: reg, Health: health})
+}
+
+// HandlerWith serves the debug endpoint:
 //
-//	/metrics       — the registry as JSON ("{}" when reg is nil)
-//	/healthz       — the health callback's value as JSON; 503 when the
-//	                 callback reports an error, 200 otherwise
-//	/debug/pprof/  — the standard runtime profiles
+//	/metrics              — the registry as JSON ("{}" when Registry is nil)
+//	/metrics?format=prom  — the registry in Prometheus text exposition format
+//	/metrics?window=1     — last-window percentiles (p50/p95/p99) as JSON
+//	/debug/traces         — retained trace records, newest first; ?slow=1
+//	                        keeps only slow-flagged traces, ?n=K caps the count
+//	/healthz              — the health callback's value as JSON; 503 when the
+//	                        callback reports an error, 200 otherwise
+//	/debug/pprof/         — the standard runtime profiles
 //
-// health may be nil (a bare {"status":"ok"} is served) and is called per
+// Health may be nil (a bare {"status":"ok"} is served) and is called per
 // request, so it can probe live state. The pprof handlers are mounted
 // explicitly rather than through net/http/pprof's DefaultServeMux side
 // effect, so importing this package does not pollute the global mux.
-func Handler(reg *Registry, health func() (interface{}, error)) http.Handler {
+func HandlerWith(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		switch {
+		case q.Get("format") == "prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			WriteProm(w, cfg.Registry.Snapshot())
+		case q.Get("window") != "":
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(cfg.Windows.Snapshot())
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(cfg.Registry.JSON())
+		}
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		limit, _ := strconv.Atoi(q.Get("n"))
+		recs := cfg.Traces.Snapshot(q.Get("slow") == "1", limit)
+		if recs == nil {
+			recs = []TraceRecord{}
+		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(reg.JSON())
+		json.NewEncoder(w).Encode(recs)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		var (
 			doc interface{} = map[string]string{"status": "ok"}
 			err error
 		)
-		if health != nil {
-			doc, err = health()
+		if cfg.Health != nil {
+			doc, err = cfg.Health()
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err != nil {
@@ -60,15 +102,22 @@ type DebugServer struct {
 	ln  net.Listener
 }
 
-// Serve starts the debug endpoint on addr (":7699", "127.0.0.1:0", ...)
-// and serves in the background until Close. The listener is bound before
-// returning, so Addr is immediately valid and a bad address fails fast.
+// Serve starts the debug endpoint on addr with a registry and health
+// callback only; see ServeWith for the full configuration.
 func Serve(addr string, reg *Registry, health func() (interface{}, error)) (*DebugServer, error) {
+	return ServeWith(addr, HandlerConfig{Registry: reg, Health: health})
+}
+
+// ServeWith starts the debug endpoint on addr (":7699", "127.0.0.1:0",
+// ...) and serves in the background until Close. The listener is bound
+// before returning, so Addr is immediately valid and a bad address fails
+// fast.
+func ServeWith(addr string, cfg HandlerConfig) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg, health), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: HandlerWith(cfg), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return &DebugServer{srv: srv, ln: ln}, nil
 }

@@ -176,9 +176,12 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 }
 
 // LatencyBucketsMS is the default latency bucket set, in milliseconds:
-// 50µs to 5s, roughly logarithmic — wide enough for an in-process worker
-// round trip and a multi-second recovery alike.
-var LatencyBucketsMS = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+// 1µs to 5s, roughly logarithmic. The microsecond tail exists for the
+// incremental update path, whose per-batch cost sits in the tens of
+// microseconds once work is proportional to the change — buckets
+// bottoming out at 50µs collapsed that entire distribution into two
+// bins; the top stays wide enough for a multi-second recovery.
+var LatencyBucketsMS = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
 
 // SizeBuckets is the default bucket set for counts (batch sizes,
 // affected-set sizes, fan-out widths): powers of four from 1 to ~1M.

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// promPrefix namespaces every exported series, per Prometheus naming
+// convention (a single-word application prefix).
+const promPrefix = "qgp_"
+
+// WriteProm renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4), so the registry is scrapeable by
+// standard tooling without taking a client_golang dependency. Instrument
+// names are sanitized (every character outside [a-zA-Z0-9_:] becomes
+// '_') and prefixed with "qgp_"; histograms render with the cumulative
+// le-bucket convention. Output is sorted by name, so it is deterministic
+// for a fixed state.
+func WriteProm(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		// The exposition format wants cumulative bucket counts; the
+		// snapshot stores per-bucket counts.
+		var cum int64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry instrument name ("cluster.update.ms",
+// "cluster.worker.0.match.ms") onto a valid Prometheus metric name.
+func promName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+		default:
+			b[i] = '_'
+		}
+	}
+	return promPrefix + string(b)
+}
+
+// promFloat renders a float the way Prometheus expects: shortest exact
+// decimal form.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

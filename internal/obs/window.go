@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Windows turns the registry's cumulative histograms into rolling-window
+// views: at every roll it diffs each histogram against the previous
+// snapshot and keeps the delta as "the last completed window", from
+// which p50/p95/p99 are estimated. Cumulative histograms answer "what
+// has this process seen since boot"; windows answer the operational
+// question "what is latency like right now" — a p99 regression is
+// visible in the next window instead of being averaged away under hours
+// of history. A nil *Windows is valid and yields empty snapshots.
+type Windows struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu     sync.Mutex
+	prev   map[string]HistogramSnapshot // cumulative state at last roll
+	window map[string]windowState       // deltas of the last completed window
+	rolled time.Time                    // when the last completed window ended
+	stop   chan struct{}
+	once   sync.Once
+}
+
+type windowState struct {
+	count  int64
+	sum    float64
+	bounds []float64
+	counts []int64
+}
+
+// NewWindows returns a roller over reg. interval is the target window
+// length (10s when <= 0); it is advisory for Start's ticker and recorded
+// in snapshots — callers driving Roll manually (tests) set their own
+// cadence.
+func NewWindows(reg *Registry, interval time.Duration) *Windows {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	return &Windows{
+		reg:      reg,
+		interval: interval,
+		prev:     map[string]HistogramSnapshot{},
+		window:   map[string]windowState{},
+		stop:     make(chan struct{}),
+	}
+}
+
+// Roll completes the current window: every histogram's delta since the
+// previous roll becomes the new "last window", and the cumulative state
+// is re-based. Safe to call concurrently with observations.
+func (w *Windows) Roll() {
+	if w == nil {
+		return
+	}
+	cur := w.reg.Snapshot().Histograms
+	now := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	next := make(map[string]windowState, len(cur))
+	for name, c := range cur {
+		p, ok := w.prev[name]
+		st := windowState{count: c.Count, sum: c.Sum, bounds: c.Bounds, counts: c.Counts}
+		if ok && len(p.Counts) == len(c.Counts) {
+			st.count -= p.Count
+			st.sum -= p.Sum
+			st.counts = make([]int64, len(c.Counts))
+			for i := range c.Counts {
+				st.counts[i] = c.Counts[i] - p.Counts[i]
+			}
+		}
+		next[name] = st
+	}
+	w.window = next
+	w.prev = cur
+	w.rolled = now
+}
+
+// Start rolls windows in the background every interval, until Stop.
+func (w *Windows) Start() {
+	if w == nil {
+		return
+	}
+	go func() {
+		t := time.NewTicker(w.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				w.Roll()
+			case <-w.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts a Start'ed roller. Idempotent.
+func (w *Windows) Stop() {
+	if w == nil {
+		return
+	}
+	w.once.Do(func() { close(w.stop) })
+}
+
+// WindowedHistogram summarizes one histogram over the last completed
+// window: observation count, sum, and interpolated percentiles.
+type WindowedHistogram struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// WindowedSnapshot is the JSON form of the last completed window.
+type WindowedSnapshot struct {
+	IntervalMS float64                      `json:"interval_ms"`
+	RolledAt   time.Time                    `json:"rolled_at,omitempty"`
+	Histograms map[string]WindowedHistogram `json:"histograms"`
+}
+
+// Snapshot returns the last completed window. Histograms with no
+// observations in the window are omitted, so a quiet instrument does not
+// report stale percentiles as current.
+func (w *Windows) Snapshot() WindowedSnapshot {
+	s := WindowedSnapshot{Histograms: map[string]WindowedHistogram{}}
+	if w == nil {
+		return s
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s.IntervalMS = float64(w.interval.Microseconds()) / 1000
+	s.RolledAt = w.rolled
+	for name, st := range w.window {
+		if st.count <= 0 {
+			continue
+		}
+		s.Histograms[name] = WindowedHistogram{
+			Count: st.count,
+			Sum:   st.sum,
+			P50:   percentileFromBuckets(st.bounds, st.counts, st.count, 0.50),
+			P95:   percentileFromBuckets(st.bounds, st.counts, st.count, 0.95),
+			P99:   percentileFromBuckets(st.bounds, st.counts, st.count, 0.99),
+		}
+	}
+	return s
+}
+
+// percentileFromBuckets estimates the q-quantile of a bucketed
+// distribution by linear interpolation inside the bucket holding the
+// target rank (the standard histogram_quantile estimate). The first
+// bucket interpolates from 0; a rank landing in the overflow bucket
+// clamps to the final bound — the histogram carries no upper edge there.
+func percentileFromBuckets(bounds []float64, counts []int64, total int64, q float64) float64 {
+	if total <= 0 || len(counts) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: no upper edge to interpolate toward.
+			if len(bounds) == 0 {
+				return 0
+			}
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		return lo + (bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
+}

@@ -1,0 +1,61 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// Explanation is the EXPLAIN document for a query: one chosen plan per
+// positive pattern the engine would compile (Π(Q) first, then each
+// positified Q+e), with per-step cardinality estimates. It reports what
+// the planner would do without executing anything; the PROFILE document
+// pairs it with the observed candidate counts, so estimate and reality
+// are directly comparable per step.
+type Explanation struct {
+	Patterns []PatternPlan `json:"patterns"`
+}
+
+// PatternPlan is the chosen order and cost estimate for one positive
+// pattern.
+type PatternPlan struct {
+	// Pattern names the pattern within the query: "pi" for Π(Q), or
+	// "pi+e<i>" for the positified pattern of negated edge i.
+	Pattern string `json:"pattern"`
+	// Order is the planned matching order, as node names (focus first).
+	Order []string `json:"order"`
+	// StepCost[i] is the estimated partial-match cardinality after
+	// binding Order[i]; Cost is their sum, the planner's estimate of
+	// total work.
+	StepCost []float64 `json:"step_cost"`
+	Cost     float64   `json:"cost"`
+}
+
+// Explain plans every positive pattern of q over the graph summarized by
+// s and returns the structured explanation. It mirrors eval's pattern
+// decomposition exactly, so the entries align one-to-one with a
+// profile's PatternProfile entries.
+func Explain(g *graph.Graph, s *stats.Stats, q *core.Pattern) (*Explanation, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	ex := &Explanation{}
+	pi, _ := q.Pi()
+	ex.Patterns = append(ex.Patterns, patternPlan("pi", g, s, pi))
+	for _, ei := range q.NegatedEdges() {
+		pp, _ := q.PiPlus(ei)
+		ex.Patterns = append(ex.Patterns, patternPlan(fmt.Sprintf("pi+e%d", ei), g, s, pp))
+	}
+	return ex, nil
+}
+
+func patternPlan(name string, g *graph.Graph, s *stats.Stats, p *core.Pattern) PatternPlan {
+	pl := Choose(g, s, p)
+	out := PatternPlan{Pattern: name, StepCost: pl.StepCost, Cost: pl.Cost}
+	for _, u := range pl.Order {
+		out.Order = append(out.Order, p.Nodes[u].Name)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/plan"
+)
+
+// This file implements the explain and profile wire commands: EXPLAIN is
+// the planner's view of a query (what order, at what estimated cost),
+// PROFILE executes and pairs the result with the per-stage record of
+// where the work and the time actually went. Documents travel in
+// Response.Profile as raw JSON, so the cluster coordinator can embed a
+// worker's document verbatim inside its merged cluster-level profile.
+
+// ExplainDoc is the explain command's document.
+type ExplainDoc struct {
+	Op   string            `json:"op"` // "explain"
+	Plan *plan.Explanation `json:"plan"`
+}
+
+// MatchProfileDoc is the profile command's document for a match request:
+// the planner's estimates side by side with the observed per-pattern
+// stage profile.
+type MatchProfileDoc struct {
+	Op      string            `json:"op"` // "match"
+	Engine  string            `json:"engine"`
+	Planner bool              `json:"planner,omitempty"`
+	Plan    *plan.Explanation `json:"plan,omitempty"`
+	Profile *match.Profile    `json:"profile"`
+	Matches int               `json:"matches"`
+	TotalMS float64           `json:"total_ms"`
+}
+
+// UpdateProfileDoc is the profile command's document for an update
+// request: per-stage timings of the incremental maintenance pipeline and
+// the affected-region size against |V| — the work∝change ratio the
+// versioned core is supposed to deliver.
+type UpdateProfileDoc struct {
+	Op        string  `json:"op"` // "update"
+	BatchSize int     `json:"batch_size"`
+	Touched   int     `json:"touched"`
+	Nodes     int     `json:"nodes"`
+	Scoped    bool    `json:"scoped,omitempty"`
+	ApplyMS   float64 `json:"apply_ms"`
+	// AffectedSize is the number of focus candidates re-verified: the
+	// coordinator-computed scope when Scoped, otherwise the widest
+	// per-watch affected region. WorkRatio = AffectedSize / Nodes; the
+	// incremental claim is that it stays ≪ 1 for small batches.
+	AffectedSize int                 `json:"affected_size"`
+	WorkRatio    float64             `json:"work_ratio"`
+	Watches      []WatchStageProfile `json:"watches,omitempty"`
+	TotalMS      float64             `json:"total_ms"`
+}
+
+// WatchStageProfile is one standing watch's share of an update: the
+// two-radius pipeline split into affected-region computation and
+// candidate re-verification.
+type WatchStageProfile struct {
+	Watch      string  `json:"watch"`
+	Affected   int     `json:"affected"`
+	AffectedMS float64 `json:"affected_ms"`
+	VerifyMS   float64 `json:"verify_ms"`
+	Added      int     `json:"added"`
+	Removed    int     `json:"removed"`
+}
+
+// msSince returns the elapsed time since t0 in fractional milliseconds.
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0).Microseconds()) / 1000
+}
+
+func (s *Server) handleExplain(sess *session, req *Request, resp *Response) error {
+	if sess.g == nil {
+		return errNoGraph
+	}
+	if req.Pattern == "" {
+		return fmt.Errorf("explain: empty pattern")
+	}
+	q, err := core.Parse(req.Pattern)
+	if err != nil {
+		return err
+	}
+	ex, err := plan.Explain(sess.g, sess.stats(), q)
+	if err != nil {
+		return err
+	}
+	return marshalProfile(resp, ExplainDoc{Op: "explain", Plan: ex})
+}
+
+// handleProfile dispatches on the request's payload: an update batch
+// profiles the maintenance pipeline, a pattern profiles a match.
+func (s *Server) handleProfile(sess *session, req *Request, resp *Response) error {
+	switch {
+	case len(req.Updates) > 0 || len(req.Owned) > 0:
+		prof := &UpdateProfileDoc{Op: "update"}
+		t0 := time.Now()
+		if err := s.handleUpdate(sess, req, resp, prof); err != nil {
+			return err
+		}
+		prof.TotalMS = msSince(t0)
+		return marshalProfile(resp, prof)
+	case req.Pattern != "":
+		return s.handleProfileMatch(sess, req, resp)
+	default:
+		return fmt.Errorf("profile: request carries neither a pattern nor an update batch")
+	}
+}
+
+func (s *Server) handleProfileMatch(sess *session, req *Request, resp *Response) error {
+	if sess.g == nil {
+		return errNoGraph
+	}
+	q, err := core.Parse(req.Pattern)
+	if err != nil {
+		return err
+	}
+	engine := req.Engine
+	if engine == "" {
+		engine = "qmatch"
+	}
+	doc := &MatchProfileDoc{Op: "match", Engine: engine, Planner: req.Planner}
+	if ex, exErr := plan.Explain(sess.g, sess.stats(), q); exErr == nil {
+		doc.Plan = ex
+	}
+	t0 := time.Now()
+	if sess.owned != nil && len(sess.owned) == 0 {
+		// A fragment owning no nodes answers for nothing (see handleMatch).
+		FillMatches(resp, nil, req.Limit)
+		resp.Metrics = &match.Metrics{}
+		doc.Profile = &match.Profile{}
+		doc.TotalMS = msSince(t0)
+		return marshalProfile(resp, doc)
+	}
+	opts := s.matchOptions(sess, req)
+	opts.CollectProfile = true
+	var res *match.Result
+	switch req.Engine {
+	case "qmatch", "":
+		res, err = match.QMatch(sess.g, q, opts)
+	case "qmatchn":
+		res, err = match.QMatchN(sess.g, q, opts)
+	case "enum":
+		res, err = match.Enum(sess.g, q, opts)
+	default:
+		return fmt.Errorf("unknown engine %q", req.Engine)
+	}
+	if err != nil {
+		return err
+	}
+	FillMatches(resp, res.Matches, req.Limit)
+	resp.Metrics = &res.Metrics
+	doc.Profile = res.Profile
+	doc.Matches = resp.Total
+	doc.TotalMS = msSince(t0)
+	return marshalProfile(resp, doc)
+}
+
+// marshalProfile serializes a profile document into the response.
+func marshalProfile(resp *Response, doc interface{}) error {
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	resp.Profile = b
+	return nil
+}

@@ -1,0 +1,199 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func TestExplainCommand(t *testing.T) {
+	c, _ := startServer(t, server.Config{})
+	if _, err := c.Explain(followPattern); err == nil {
+		t.Fatal("explain before load succeeded")
+	}
+	if _, _, err := c.LoadText(tinyGraphText); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := c.Explain(followPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc server.ExplainDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("explain document does not parse: %v\n%s", err, raw)
+	}
+	if doc.Op != "explain" || doc.Plan == nil || len(doc.Plan.Patterns) == 0 {
+		t.Fatalf("explain document incomplete: %s", raw)
+	}
+	pp := doc.Plan.Patterns[0]
+	if pp.Pattern != "pi" {
+		t.Errorf("first pattern = %q, want pi", pp.Pattern)
+	}
+	if len(pp.Order) != 3 || pp.Order[0] != "xo" {
+		t.Errorf("order = %v, want 3 nodes with the focus first", pp.Order)
+	}
+	if len(pp.StepCost) != len(pp.Order) || pp.Cost <= 0 {
+		t.Errorf("step costs malformed: %+v", pp)
+	}
+}
+
+func TestProfileMatchCommand(t *testing.T) {
+	c, _ := startServer(t, server.Config{})
+	if _, _, err := c.LoadText(tinyGraphText); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := c.Match(followPattern, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.ProfileMatch(followPattern, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The profiled response carries the same answers as a plain match.
+	if fmt.Sprint(resp.Matches) != fmt.Sprint(plain.Matches) {
+		t.Fatalf("profiled matches %v != plain matches %v", resp.Matches, plain.Matches)
+	}
+	var doc server.MatchProfileDoc
+	if err := json.Unmarshal(resp.Profile, &doc); err != nil {
+		t.Fatalf("profile document does not parse: %v\n%s", err, resp.Profile)
+	}
+	if doc.Op != "match" || doc.Engine != "qmatch" {
+		t.Fatalf("document header wrong: %s", resp.Profile)
+	}
+	if doc.Matches != resp.Total {
+		t.Errorf("doc.Matches = %d, response total = %d", doc.Matches, resp.Total)
+	}
+	if doc.Plan == nil || len(doc.Plan.Patterns) == 0 {
+		t.Errorf("document missing plan estimates: %s", resp.Profile)
+	}
+	if doc.Profile == nil || len(doc.Profile.Patterns) == 0 {
+		t.Fatalf("document missing stage profile: %s", resp.Profile)
+	}
+	pi := doc.Profile.Patterns[0]
+	if pi.Pattern != "pi" {
+		t.Errorf("first stage = %q, want pi", pi.Pattern)
+	}
+	if len(pi.Nodes) == 0 {
+		t.Fatalf("pi stage has no per-node candidate counts: %s", resp.Profile)
+	}
+	for _, n := range pi.Nodes {
+		if n.Candidates <= 0 {
+			t.Errorf("node %s candidates = %d, want > 0 on the tiny graph", n.Name, n.Candidates)
+		}
+		if n.Accepted > n.Candidates {
+			t.Errorf("node %s accepted %d > candidates %d", n.Name, n.Accepted, n.Candidates)
+		}
+	}
+	if len(pi.Order) == 0 || pi.Order[0] != "xo" {
+		t.Errorf("pi order = %v, want focus first", pi.Order)
+	}
+	if pi.Answers != doc.Matches {
+		t.Errorf("pi answers = %d, want %d (no negated edges)", pi.Answers, doc.Matches)
+	}
+	// Stage metrics sum to the response's aggregate metrics.
+	if doc.Profile.Metrics != *resp.Metrics {
+		t.Errorf("profile metrics %+v != response metrics %+v", doc.Profile.Metrics, *resp.Metrics)
+	}
+}
+
+func TestProfileUpdateCommand(t *testing.T) {
+	c, _ := startServer(t, server.Config{})
+	if _, _, err := c.LoadText(tinyGraphText); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Watch("w", followPattern); err != nil {
+		t.Fatal(err)
+	}
+	// p3 follows p2 as well and p3 starts buying: p3 becomes an answer.
+	resp, err := c.ProfileUpdate(
+		server.UpdateSpec{Op: "addEdge", From: 3, To: 2, Label: "follow"},
+		server.UpdateSpec{Op: "addEdge", From: 2, To: 4, Label: "buy"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Deltas) != 1 {
+		t.Fatalf("deltas = %+v, want the watch's delta", resp.Deltas)
+	}
+	var doc server.UpdateProfileDoc
+	if err := json.Unmarshal(resp.Profile, &doc); err != nil {
+		t.Fatalf("profile document does not parse: %v\n%s", err, resp.Profile)
+	}
+	if doc.Op != "update" || doc.BatchSize != 2 || doc.Nodes != 5 {
+		t.Fatalf("document header wrong: %s", resp.Profile)
+	}
+	if doc.ApplyMS < 0 || doc.TotalMS <= 0 {
+		t.Errorf("timings missing: %s", resp.Profile)
+	}
+	if len(doc.Watches) != 1 {
+		t.Fatalf("watch stages = %+v, want 1", doc.Watches)
+	}
+	ws := doc.Watches[0]
+	if ws.Watch != "w" || ws.Affected <= 0 {
+		t.Errorf("watch stage wrong: %+v", ws)
+	}
+	if doc.AffectedSize != ws.Affected {
+		t.Errorf("AffectedSize = %d, want widest watch region %d", doc.AffectedSize, ws.Affected)
+	}
+	if doc.WorkRatio <= 0 || doc.WorkRatio > 1 {
+		t.Errorf("WorkRatio = %v, want within (0, 1]", doc.WorkRatio)
+	}
+}
+
+func TestProfileWithoutPayload(t *testing.T) {
+	c, _ := startServer(t, server.Config{})
+	if _, _, err := c.LoadText(tinyGraphText); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do(&server.Request{Cmd: "profile"}); err == nil {
+		t.Fatal("profile with neither pattern nor updates succeeded")
+	}
+}
+
+// TestMetricsWireMatchesHTTP is the regression test for the two scrape
+// paths: the metrics wire command and the debug listener's /metrics must
+// return identical snapshots. The HTTP document is fetched first — the
+// wire command records its own latency only after building its snapshot,
+// and the HTTP handler does not instrument itself, so at this point the
+// two views are the same document byte for byte.
+func TestMetricsWireMatchesHTTP(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, _ := startServer(t, server.Config{Metrics: reg})
+	d, err := obs.Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if _, _, err := c.LoadText(tinyGraphText); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Match(followPattern, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	httpResp, err := http.Get(fmt.Sprintf("http://%s/metrics", d.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpDoc, err := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wireDoc, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(httpDoc), bytes.TrimSpace(wireDoc)) {
+		t.Fatalf("wire and HTTP snapshots differ:\nHTTP: %s\nwire: %s", httpDoc, wireDoc)
+	}
+}

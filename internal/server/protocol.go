@@ -45,6 +45,16 @@ import (
 //	            newline-JSON client can scrape a session without the
 //	            debug HTTP listener; empty ({}) when the server was
 //	            built without a registry
+//	explain   — plan a QGP without executing it: the statistics-driven
+//	            matching order and per-step cardinality estimates for
+//	            every positive pattern, as a JSON document in Profile
+//	profile   — execute and report: a match request (Pattern) returns the
+//	            match result plus a per-stage profile (prefilter sizes,
+//	            order, timings, plan estimates); an update request
+//	            (Updates) applies the batch and returns per-stage update
+//	            timings (apply, per-watch affected/verify) and the
+//	            affected-vs-|G| work ratio — both as a JSON document in
+//	            Profile alongside the normal response fields
 //
 // The session graph persists across requests on the same connection.
 
@@ -190,6 +200,13 @@ type Response struct {
 	// not a typed struct, so the wire client needs no dependency on the
 	// registry's internal layout and the document round-trips verbatim.
 	Obs json.RawMessage `json:"obs,omitempty"`
+
+	// explain / profile: the structured plan or per-stage profile
+	// document (MatchProfileDoc, UpdateProfileDoc, or an explain
+	// document). RawMessage for the same reason as Obs — and so the
+	// cluster coordinator can embed each worker's document verbatim in
+	// its merged cluster-level profile.
+	Profile json.RawMessage `json:"profile,omitempty"`
 }
 
 // WatchDelta reports how one update batch changed a standing pattern's

@@ -58,6 +58,11 @@ type Config struct {
 	// is what the metrics wire command and a -debug-addr /metrics
 	// endpoint export. Nil disables instrumentation at zero cost.
 	Metrics *obs.Registry
+	// Tracer, when set, opens one trace per handled request (op = the
+	// command name), so a standalone qgpd gets the same per-request
+	// trace log lines and /debug/traces retention the cluster
+	// coordinator has. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) fill() {
@@ -113,6 +118,7 @@ func New(cfg Config) *Server {
 var commands = []string{
 	"ping", "gen", "load", "update", "watch", "unwatch", "stats", "match",
 	"pmatch", "rule", "rpqfilter", "partition", "fragment", "assign", "metrics",
+	"explain", "profile",
 }
 
 // cmdMetrics is one command's instruments.
@@ -336,6 +342,7 @@ func (s *Server) handle(sess *session, req *Request) Response {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 	start := time.Now()
+	tr := s.cfg.Tracer.Start(req.Cmd)
 
 	var resp Response
 	var err error
@@ -355,7 +362,7 @@ func (s *Server) handle(sess *session, req *Request) Response {
 	case "gen", "load":
 		err = s.handleGraph(sess, req, &resp)
 	case "update":
-		err = s.handleUpdate(sess, req, &resp)
+		err = s.handleUpdate(sess, req, &resp, nil)
 	case "watch":
 		err = s.handleWatch(sess, req, &resp)
 	case "unwatch":
@@ -380,6 +387,10 @@ func (s *Server) handle(sess *session, req *Request) Response {
 		// The registry snapshot over the wire: a newline-JSON client can
 		// scrape a session's server without a debug HTTP listener.
 		resp.Obs = s.cfg.Metrics.JSON()
+	case "explain":
+		err = s.handleExplain(sess, req, &resp)
+	case "profile":
+		err = s.handleProfile(sess, req, &resp)
 	default:
 		err = fmt.Errorf("unknown command %q", req.Cmd)
 	}
@@ -388,6 +399,7 @@ func (s *Server) handle(sess *session, req *Request) Response {
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	s.om.record(req.Cmd, start, err != nil)
+	tr.Finish(err)
 	return resp
 }
 
@@ -473,7 +485,7 @@ func (s *Server) handleGraph(sess *session, req *Request, resp *Response) error 
 // the coordinator assigns to this worker, folded into the owned set after
 // the batch applies — one combined round trip where the coordinator used
 // to send update and assign separately.
-func (s *Server) handleUpdate(sess *session, req *Request, resp *Response) error {
+func (s *Server) handleUpdate(sess *session, req *Request, resp *Response, prof *UpdateProfileDoc) error {
 	if sess.g == nil {
 		return errNoGraph
 	}
@@ -491,9 +503,13 @@ func (s *Server) handleUpdate(sess *session, req *Request, resp *Response) error
 		if err != nil {
 			return err
 		}
+		tApply := time.Now()
 		old, touched, err = dynamic.ApplyVersioned(sess.vg, ups)
 		if err != nil {
 			return err
+		}
+		if prof != nil {
+			prof.ApplyMS = msSince(tApply)
 		}
 		ng = sess.vg.Graph() // same pointer as sess.g: the batch applied in place
 	}
@@ -536,14 +552,30 @@ func (s *Server) handleUpdate(sess *session, req *Request, resp *Response) error
 		for _, name := range watchNames(sess) {
 			m := sess.watches[name]
 			var delta dynamic.Delta
+			var stages dynamic.Stages
 			var err error
-			if req.Scoped {
+			switch {
+			case req.Scoped && prof != nil:
+				delta, stages, err = m.ApplyScopedStaged(ng, scoped)
+			case req.Scoped:
 				delta, err = m.ApplyScoped(ng, scoped)
-			} else {
+			case prof != nil:
+				delta, stages, err = m.ApplySharedStaged(old, ng, touched)
+			default:
 				delta, err = m.ApplyShared(old, ng, touched)
 			}
 			if err != nil {
 				return fmt.Errorf("watch %q: %w", name, err)
+			}
+			if prof != nil {
+				prof.Watches = append(prof.Watches, WatchStageProfile{
+					Watch:      name,
+					Affected:   delta.Affected,
+					AffectedMS: stages.AffectedMS,
+					VerifyMS:   stages.VerifyMS,
+					Added:      len(delta.Added),
+					Removed:    len(delta.Removed),
+				})
 			}
 			appendDelta(resp, name, delta)
 		}
@@ -554,6 +586,26 @@ func (s *Server) handleUpdate(sess *session, req *Request, resp *Response) error
 		}
 	}
 	resp.Nodes, resp.Edges = ng.NumNodes(), ng.NumEdges()
+	if prof != nil {
+		prof.BatchSize = len(req.Updates)
+		prof.Touched = len(touched)
+		prof.Scoped = req.Scoped
+		prof.Nodes = ng.NumNodes()
+		if req.Scoped {
+			prof.AffectedSize = len(scoped)
+		} else {
+			// Unscoped: the affected region differs per watch (radii
+			// differ); report the widest.
+			for _, w := range prof.Watches {
+				if w.Affected > prof.AffectedSize {
+					prof.AffectedSize = w.Affected
+				}
+			}
+		}
+		if prof.Nodes > 0 {
+			prof.WorkRatio = float64(prof.AffectedSize) / float64(prof.Nodes)
+		}
+	}
 	return nil
 }
 
