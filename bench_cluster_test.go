@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -71,6 +73,59 @@ func BenchmarkClusterMatch(b *testing.B) {
 		})
 	}
 
+	// Concurrent-clients axis: 8 tenants issue fenced read-only matches
+	// against a workers=2 cluster at replication k=1..3. Every transport
+	// carries a simulated 8ms round trip, serialized per copy the way one
+	// wire session is, so throughput is bound by overlapping read streams
+	// — exactly what replica-read routing buys — rather than by this
+	// machine's core count. QPS must scale with k (the recorded
+	// read_scaleout_r3_vs_r1 ratio tracks it across PRs).
+	const tenants = 8
+	const rtt = 8 * time.Millisecond
+	cg := gen.Social(gen.DefaultSocial(400, 42))
+	cq, err := core.Parse("qgp\nn xo person *\nn z person\ne xo z follow >=2\n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3} {
+		k := k
+		b.Run(fmt.Sprintf("tenants=%d/replicas=%d", tenants, k), func(b *testing.B) {
+			prim := make([]cluster.Transport, 2)
+			for i := range prim {
+				prim[i] = &latencyTransport{inner: cluster.InProcess(server.Config{}), d: rtt}
+			}
+			pool := &latencyPool{cfg: server.Config{}, d: rtt, next: len(prim)}
+			c, err := cluster.New(cg, prim, cluster.Config{D: 2, Replicas: k, Pool: pool})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			// One write sets the read-your-writes fence every tenant's
+			// matches carry, as the front end does after an update.
+			res, err := c.Update([]server.UpdateSpec{{Op: "addEdge", From: 1, To: 2, Label: "follow"}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := &cluster.MatchOptions{MinVersion: res.Version}
+			b.SetParallelism(tenants) // tenants × GOMAXPROCS goroutines
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := c.MatchWith(cq, opts); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			record[fmt.Sprintf("concurrent_t%d_r%d_ns_per_op", tenants, k)] = avgNs(b)
+		})
+	}
+	if r1, ok := record[fmt.Sprintf("concurrent_t%d_r1_ns_per_op", tenants)].(int64); ok {
+		if r3, ok := record[fmt.Sprintf("concurrent_t%d_r3_ns_per_op", tenants)].(int64); ok && r3 > 0 {
+			record["read_scaleout_r3_vs_r1"] = float64(r1) / float64(r3)
+		}
+	}
+
 	if os.Getenv("QGP_BENCH_RECORD") != "" {
 		b.StopTimer()
 		f, err := os.Create("BENCH_cluster.json")
@@ -96,4 +151,42 @@ func avgNs(b *testing.B) int64 {
 		return 0
 	}
 	return b.Elapsed().Nanoseconds() / int64(b.N)
+}
+
+// latencyTransport models one wire session to a remote worker: requests
+// pay a fixed round trip and are serialized per session (a connection is
+// an in-order stream), so k copies of a fragment can overlap k reads.
+// It deliberately implements neither Endpointer nor ReadTracker — the
+// read router then scores copies by their own in-flight counts, the
+// dial-pool-without-accounting deployment shape.
+type latencyTransport struct {
+	mu    sync.Mutex
+	inner cluster.Transport
+	d     time.Duration
+}
+
+func (t *latencyTransport) Do(req *server.Request) (*server.Response, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	time.Sleep(t.d)
+	return t.inner.Do(req)
+}
+
+func (t *latencyTransport) Close() error { return t.inner.Close() }
+
+// latencyPool hands replica sessions out as latency transports on
+// distinct synthetic endpoints.
+type latencyPool struct {
+	mu   sync.Mutex
+	cfg  server.Config
+	d    time.Duration
+	next int
+}
+
+func (p *latencyPool) Get(weight int, avoid map[int]bool) (cluster.Transport, int, error) {
+	p.mu.Lock()
+	ep := p.next
+	p.next++
+	p.mu.Unlock()
+	return &latencyTransport{inner: cluster.InProcess(p.cfg), d: p.d}, ep, nil
 }

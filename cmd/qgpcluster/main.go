@@ -2,9 +2,15 @@
 // cluster and exposes it as a front-end server speaking the same
 // newline-delimited JSON protocol as qgpd, so existing clients work
 // unchanged. Workers are either stock qgpd processes reached over TCP
-// (-workers) or embedded in-process servers (-spawn); each front-end
-// connection is an independent cluster session, unless -journal selects
-// the durable shared-session mode.
+// (-workers) or embedded in-process servers (-spawn).
+//
+// All connections share ONE cluster session — one fragmentation, one
+// write path — multiplexed by the tenant layer: each connection (or
+// named session, via the session wire command) gets a private watch
+// namespace with quotas (-max-tenants, -tenant-idle), and with
+// -replicas k > 1 reads are routed to the least-loaded live copy of
+// each fragment, fenced so a session always sees its own writes.
+// -isolate restores the legacy cluster-per-connection model.
 //
 // Distributed:
 //
@@ -66,6 +72,7 @@ import (
 	"repro/internal/ha"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -75,7 +82,10 @@ func main() {
 	d := flag.Int("d", 2, "hop radius preserved by the fragmentation (patterns needing more are rejected)")
 	engine := flag.String("engine", "qmatch", "per-worker matching engine: qmatch | qmatchn | enum")
 	budget := flag.Int64("budget", 0, "extension budget forwarded to workers (0 = worker default)")
-	replicas := flag.Int("replicas", 1, "copies of each fragment (k); k-1 warm replicas back every primary")
+	replicas := flag.Int("replicas", 1, "copies of each fragment (k); k-1 warm replicas back every primary and serve routed reads")
+	maxTenants := flag.Int("max-tenants", 1024, "maximum live tenant sessions (negative = unlimited)")
+	tenantIdle := flag.Duration("tenant-idle", 15*time.Minute, "evict named tenant sessions with no connection after this long idle (negative = never)")
+	isolate := flag.Bool("isolate", false, "legacy mode: a private cluster per connection instead of the shared multi-tenant session (incompatible with -journal)")
 	journalDir := flag.String("journal", "", "directory for the snapshot+journal; existing state is recovered at startup and the front end serves one durable session shared by all connections")
 	fsync := flag.Bool("fsync", false, "fsync every journaled update batch before fanning it out")
 	compactBytes := flag.Int64("compact-bytes", 16<<20, "fold the mutation journal into a fresh snapshot once it exceeds this many bytes (0 = compact only at startup)")
@@ -124,17 +134,34 @@ func main() {
 			log.Fatalf("qgpcluster: -spawn must be at least 1")
 		}
 		// Embedded workers idle as long as the front-end session lives;
-		// don't let the worker-side idle timeout cut them off.
-		pool = ha.NewSpawnPool(*spawn, server.Config{IdleTimeout: 24 * time.Hour, Metrics: reg})
+		// don't let the worker-side idle timeout cut them off. The shared
+		// session aggregates every tenant's watches in one worker session,
+		// so the per-session watch cap is lifted — quotas are per tenant
+		// at the front end.
+		wcfg := server.Config{IdleTimeout: 24 * time.Hour, Metrics: reg}
+		if !*isolate {
+			wcfg.MaxWatches = -1
+		}
+		pool = ha.NewSpawnPool(*spawn, wcfg)
 		workerCount = *spawn
 		log.Printf("qgpcluster: spawning %d embedded workers per session", *spawn)
 	}
 	clusterCfg.Pool = pool
 	newWorkers := func() ([]cluster.Transport, error) { return pool.Primaries(workerCount) }
 
+	if *isolate && *journalDir != "" {
+		log.Fatalf("qgpcluster: -isolate is incompatible with -journal (durability requires the shared session)")
+	}
 	feCfg := cluster.FrontendConfig{
-		Cluster:      clusterCfg,
-		NewWorkers:   newWorkers,
+		Cluster:    clusterCfg,
+		NewWorkers: newWorkers,
+		Isolate:    *isolate,
+		Tenancy: tenant.Config{
+			MaxTenants:  *maxTenants,
+			IdleTimeout: *tenantIdle,
+			Logf:        log.Printf,
+			Metrics:     reg,
+		},
 		MaxGraphSize: *maxGraph,
 		IdleTimeout:  *idle,
 	}

@@ -25,6 +25,7 @@ func TestExamplesRun(t *testing.T) {
 		{"dynamicgraph", "consistent"},
 		{"serverdemo", "ok"},
 		{"profiling", "work proportional to the change"},
+		{"multitenant", "two tenants, one fragmentation"},
 	}
 	for _, ex := range examples {
 		ex := ex

@@ -259,3 +259,44 @@ func (c *Client) ProfileMatch(pattern string, opts *MatchOptions) (*server.Respo
 func (c *Client) ProfileUpdate(updates ...server.UpdateSpec) (*server.Response, error) {
 	return c.Do(&server.Request{Cmd: "profile", Updates: updates})
 }
+
+// Session attaches this connection to a named tenant session on the
+// multi-tenant cluster front end; an empty name creates a fresh
+// connection-scoped one. Returns the (possibly generated) session name.
+// A named session's watches and pending deltas survive disconnects until
+// the front end's idle timeout evicts it.
+func (c *Client) Session(name string) (string, error) {
+	resp, err := c.Do(&server.Request{Cmd: "session", Session: name})
+	if err != nil {
+		return "", err
+	}
+	return resp.Session, nil
+}
+
+// Sessions lists the front end's live tenant sessions.
+func (c *Client) Sessions() ([]server.TenantInfo, error) {
+	resp, err := c.Do(&server.Request{Cmd: "sessions"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tenants, nil
+}
+
+// EndSession evicts a tenant session, unregistering its watches; an
+// empty name evicts the connection's current session.
+func (c *Client) EndSession(name string) error {
+	_, err := c.Do(&server.Request{Cmd: "endsession", Session: name})
+	return err
+}
+
+// Deltas drains this connection's tenant session inbox: the watch
+// deltas other tenants' updates caused in this session's namespace,
+// coalesced since the last drain. (The session's own updates return
+// their deltas directly on the update response.)
+func (c *Client) Deltas() ([]server.WatchDelta, error) {
+	resp, err := c.Do(&server.Request{Cmd: "deltas"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Deltas, nil
+}

@@ -33,6 +33,7 @@ import (
 	"log"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dynamic"
 	"repro/internal/graph"
@@ -62,8 +63,17 @@ type Config struct {
 	// least-loaded endpoints by partition.OwnerMap owned counts, off
 	// the primary's endpoint when possible); update and assign batches
 	// are mirrored to replicas after the primary applies them, so a
-	// replica can be promoted on primary failure without re-shipping.
+	// replica can be promoted on primary failure without re-shipping,
+	// and read-only fan-outs (Match, Explain, ProfileMatch) are routed
+	// to the least-loaded live copy of each fragment, scaling read
+	// throughput with k.
 	Replicas int
+	// MaxWatches caps the standing patterns one coordinator holds. 0
+	// keeps the historical per-session default of 16; a negative value
+	// lifts the cap (the multi-tenant front end enforces per-tenant
+	// quotas itself and multiplexes many namespaces over one
+	// coordinator). Workers need a matching server.Config.MaxWatches.
+	MaxWatches int
 	// Pool supplies fresh worker sessions for replica placement and
 	// failover re-shipping. Optional when Replicas <= 1: without it, a
 	// worker failure that no warm replica can cover fail-stops the
@@ -96,9 +106,12 @@ type Config struct {
 // Coordinator is the paper's Sc: it holds the authoritative global graph,
 // knows which worker owns and materializes which nodes, and drives the
 // workers through the wire protocol. Methods are safe for concurrent use;
-// requests to distinct workers run in parallel.
+// requests to distinct workers run in parallel, and read-only operations
+// (Match, Explain, ProfileMatch, status inspection) additionally run
+// concurrently with each other under the read side of mu, routed across
+// fragment copies (readroute.go).
 type Coordinator struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	cfg Config
 	om  *coordMetrics
 	g   *graph.Graph // authoritative global graph (edge-set normalized)
@@ -118,6 +131,11 @@ type Coordinator struct {
 	// left, leaving fragments possibly inconsistent; every later
 	// request is refused.
 	failed error
+	// version counts accepted update batches. Every live copy of every
+	// fragment records the version it is synced to; the read router uses
+	// the tokens as a read-your-writes fence (MatchOptions.MinVersion).
+	// Guarded by mu: written under the write lock, read under either.
+	version uint64
 }
 
 // replica is one worker session holding a copy of a fragment. The
@@ -126,6 +144,21 @@ type Coordinator struct {
 type replica struct {
 	t        Transport
 	endpoint int // pool endpoint hosting the session, -1 unknown
+	// version is the coordinator batch counter this copy is synced to.
+	// Replicas are mirrored synchronously, so at rest every surviving
+	// copy is current; the token is the fence that keeps a routed read
+	// off a copy that missed a batch (it was added mid-history, or a
+	// future async mirror left it behind). Guarded by c.mu.
+	version uint64
+	// inflight counts read-routed requests currently on this copy and
+	// reads the total it has served; both are atomics because the read
+	// path runs under c.mu's read side only.
+	inflight int64
+	reads    int64
+	// suspect marks a copy whose transport failed a routed read: reads
+	// skip it (no failover runs under the read lock) and the next
+	// write-locked operation prunes or replaces it.
+	suspect atomic.Bool
 }
 
 // worker is the coordinator's book-keeping for one fragment. The
@@ -264,6 +297,10 @@ type coordMetrics struct {
 	// Failover events (the mechanics in ha.go; internal/ha's monitor
 	// counts its policy decisions separately).
 	promotions, reships, mirrorDrops *obs.Counter
+	// Read routing: how many routed reads landed on the primary vs a
+	// warm replica, how many fell back to the write-locked failover
+	// path, and how many copies were marked suspect by a failed read.
+	readPrimary, readReplica, readFallbacks, readSuspects *obs.Counter
 }
 
 func newCoordMetrics(reg *obs.Registry, workers int) *coordMetrics {
@@ -284,6 +321,10 @@ func newCoordMetrics(reg *obs.Registry, workers int) *coordMetrics {
 		promotions:     reg.Counter("cluster.failover.promotions"),
 		reships:        reg.Counter("cluster.failover.reships"),
 		mirrorDrops:    reg.Counter("cluster.replica.mirror_drops"),
+		readPrimary:    reg.Counter("cluster.read.primary"),
+		readReplica:    reg.Counter("cluster.read.replica"),
+		readFallbacks:  reg.Counter("cluster.read.fallbacks"),
+		readSuspects:   reg.Counter("cluster.read.suspects"),
 	}
 	om.workerMatchMS = make([]*obs.Histogram, workers)
 	om.workerUpdateMS = make([]*obs.Histogram, workers)
@@ -314,6 +355,29 @@ func (om *coordMetrics) mirrorDropped() {
 	}
 }
 
+func (om *coordMetrics) readRouted(toPrimary bool) {
+	if om == nil {
+		return
+	}
+	if toPrimary {
+		om.readPrimary.Inc()
+	} else {
+		om.readReplica.Inc()
+	}
+}
+
+func (om *coordMetrics) readFellBack() {
+	if om != nil {
+		om.readFallbacks.Inc()
+	}
+}
+
+func (om *coordMetrics) readSuspected() {
+	if om != nil {
+		om.readSuspects.Inc()
+	}
+}
+
 // endpointOf reports which pool endpoint hosts a transport, -1 when the
 // transport does not know (e.g. caller-supplied embedded workers).
 func endpointOf(t Transport) int {
@@ -328,8 +392,8 @@ func endpointOf(t Transport) int {
 // under Update, and callers (oracles, stats, tests) hold snapshots
 // across updates.
 func (c *Coordinator) Graph() *graph.Graph {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.g.Clone()
 }
 
@@ -339,10 +403,21 @@ func (c *Coordinator) D() int { return c.cfg.D }
 // Workers returns the number of workers.
 func (c *Coordinator) Workers() int { return len(c.workers) }
 
+// Version returns the coordinator's accepted-batch counter: 0 for a
+// fresh cluster, incremented by every successful Update. A client that
+// fences its reads with MatchOptions.MinVersion = the Version (or
+// UpdateResult.Version) observed after its last write can never read a
+// fragment copy that has not applied that write.
+func (c *Coordinator) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
 // FragmentSizes returns each worker's materialized node count.
 func (c *Coordinator) FragmentSizes() []int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	sizes := make([]int, len(c.workers))
 	for i, w := range c.workers {
 		sizes[i] = len(w.nodes)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -118,8 +119,8 @@ func TestFrontendFailedRebuild(t *testing.T) {
 		},
 		Logf: func(string, ...interface{}) {},
 	})
-	sess := &feSession{}
-	defer sess.close()
+	sess := &connState{}
+	defer fe.Shutdown(context.Background())
 
 	resp := fe.handle(sess, &server.Request{Cmd: "gen", Kind: "social", Size: 100, Seed: 1})
 	if resp.Error != "" {

@@ -14,24 +14,36 @@ import (
 	"repro/internal/graph"
 	"repro/internal/server"
 	"repro/internal/stats"
+	"repro/internal/tenant"
 )
 
 // FrontendConfig tunes a Frontend.
 type FrontendConfig struct {
 	// Cluster is the coordinator configuration applied to every session
-	// (including Replicas, Pool and, for durable sessions, Journal).
+	// (including Replicas, Pool and, for durable sessions, Journal). In
+	// shared-session mode a zero MaxWatches is lifted to unlimited: the
+	// one coordinator aggregates every tenant's watches, and quotas are
+	// enforced per tenant by the session manager instead.
 	Cluster Config
-	// NewWorkers supplies a fresh set of worker transports for a session's
-	// coordinator (each front-end connection is an independent cluster
-	// session, mirroring qgpd's session-per-connection model). Required.
-	// The coordinator built over them owns and closes them.
+	// NewWorkers supplies a fresh set of worker transports for a
+	// cluster's coordinator. Required. The coordinator built over them
+	// owns and closes them.
 	NewWorkers func() ([]Transport, error)
-	// Durable, when non-nil, replaces the session-per-connection model
-	// with ONE journal-backed cluster session shared by every
-	// connection: updates are journaled before fan-out and a restarted
-	// front end resumes from the recovered graph and watches. The
-	// shared session serializes requests and shares the watch
-	// namespace across connections.
+	// Isolate restores the legacy cluster-per-connection model: every
+	// TCP connection gets a private fragmentation and watch namespace,
+	// torn down on disconnect. The default (false) is ONE shared cluster
+	// session multiplexed across connections by the tenant layer — k
+	// clients cost one fragmentation, not k. Ignored (forced off) when
+	// Durable is set: durability requires the shared session.
+	Isolate bool
+	// Tenancy tunes the shared session's tenant manager (quotas, idle
+	// eviction). Zero values take the tenant package defaults; Logf and
+	// Metrics default to this config's Logf and Cluster.Metrics. Unused
+	// in Isolate mode.
+	Tenancy tenant.Config
+	// Durable, when non-nil, backs the shared session with a journal:
+	// updates are journaled before fan-out and a restarted front end
+	// resumes from the recovered graph and watches.
 	Durable *DurableState
 	// OnSession, when set, is called with each coordinator the front
 	// end builds; the returned stop function is called when that
@@ -58,7 +70,9 @@ type DurableState struct {
 	// nil when the journal directory held no state.
 	Graph *graph.Graph
 	// Watches maps recovered watch names to their pattern DSL; they are
-	// re-registered when the recovered graph's cluster is built.
+	// re-registered when the recovered graph's cluster is built. Names
+	// are coordinator-global: tenant-encoded (tenant.GlobalName) when
+	// written by this build, bare legacy names from older journals.
 	Watches map[string]string
 }
 
@@ -79,11 +93,22 @@ func (c *FrontendConfig) fill() {
 
 // Frontend exposes a Coordinator through the qgpd wire protocol, so any
 // existing client (internal/client, netcat, the examples) can talk to a
-// cluster exactly as it talks to a single server. Commands gen, load,
-// match, update, watch, unwatch, stats, partition, metrics, explain,
-// profile and ping are
-// served; commands that only make sense against a local graph (pmatch,
-// rule, rpqfilter) report an error naming the limitation.
+// cluster exactly as it talks to a single server.
+//
+// By default every connection shares ONE cluster session — one
+// fragmentation, one coordinator write path — and the tenant layer
+// (internal/tenant) gives each connection (or named session, via the
+// session command) a private watch namespace with quotas and lifecycle.
+// Reads are routed to the least-loaded live copy of each fragment, fenced
+// by the tenant's last write so a session never misses its own update.
+// FrontendConfig.Isolate restores the legacy cluster-per-connection
+// model.
+//
+// Commands gen, load, match, update, watch, unwatch, stats, partition,
+// metrics, explain, profile, ping and (shared mode) session, sessions,
+// endsession, deltas are served; commands that only make sense against a
+// local graph (pmatch, rule, rpqfilter) report an error naming the
+// limitation.
 type Frontend struct {
 	cfg FrontendConfig
 
@@ -94,16 +119,43 @@ type Frontend struct {
 	shutdown bool
 	wg       sync.WaitGroup
 
-	// Durable mode: one shared session, serialized by dmu.
-	dmu   sync.Mutex
-	dsess *feSession
+	// Shared-session mode (the default): one cluster session for every
+	// connection, multiplexed by the tenant manager. smu guards the
+	// session bookkeeping (rebuilds, lazy durable recovery); requests
+	// snapshot the coordinator under smu and then run concurrently —
+	// the coordinator's own RWMutex serializes writes against routed
+	// reads.
+	smu     sync.Mutex
+	ssess   *feSession
+	srecov  bool // durable recovery applied (or superseded by gen/load)
+	tenants *tenant.Manager
 }
 
 // NewFrontend returns a front-end server for cluster sessions.
 func NewFrontend(cfg FrontendConfig) *Frontend {
 	cfg.fill()
-	return &Frontend{cfg: cfg, conns: make(map[net.Conn]bool), coords: make(map[*Coordinator]bool)}
+	if cfg.Durable != nil {
+		cfg.Isolate = false // durability requires the one shared session
+	}
+	f := &Frontend{cfg: cfg, conns: make(map[net.Conn]bool), coords: make(map[*Coordinator]bool)}
+	if !cfg.Isolate {
+		f.ssess = &feSession{}
+		tcfg := cfg.Tenancy
+		if tcfg.Logf == nil {
+			tcfg.Logf = cfg.Logf
+		}
+		if tcfg.Metrics == nil {
+			tcfg.Metrics = cfg.Cluster.Metrics
+		}
+		f.tenants = tenant.NewManager(tcfg, f)
+		f.tenants.Start()
+	}
+	return f
 }
+
+// Tenants exposes the shared session's tenant manager (nil in Isolate
+// mode) for supervision and tests.
+func (f *Frontend) Tenants() *tenant.Manager { return f.tenants }
 
 // Serve accepts connections until Shutdown. It always returns a non-nil
 // error; after Shutdown the error is net.ErrClosed.
@@ -140,8 +192,8 @@ func (f *Frontend) Serve(ln net.Listener) error {
 }
 
 // Shutdown stops accepting, closes the listener and all connections,
-// waits for in-flight handlers (or the context), and releases the
-// durable session's coordinator and workers if one exists.
+// waits for in-flight handlers (or the context), and releases the shared
+// session's coordinator and workers.
 func (f *Frontend) Shutdown(ctx context.Context) error {
 	f.mu.Lock()
 	f.shutdown = true
@@ -161,17 +213,19 @@ func (f *Frontend) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
-		// A handler may still hold dmu; skip the durable teardown
-		// rather than block past the caller's deadline.
+		// A handler may still hold smu; skip the shared teardown rather
+		// than block past the caller's deadline.
 		return ctx.Err()
 	}
-	// All handlers have returned, so dmu is free.
-	f.dmu.Lock()
-	if f.dsess != nil {
-		f.dsess.close()
-		f.dsess = nil
+	if f.tenants != nil {
+		f.tenants.Stop()
 	}
-	f.dmu.Unlock()
+	// All handlers have returned, so smu is free.
+	f.smu.Lock()
+	if f.ssess != nil {
+		f.ssess.close()
+	}
+	f.smu.Unlock()
 	return nil
 }
 
@@ -181,9 +235,33 @@ func (f *Frontend) Shutdown(ctx context.Context) error {
 // disconnect.
 type feSession struct {
 	coord *Coordinator
-	st    *stats.Stats
 	stop  func() // OnSession cleanup (e.g. a health monitor)
 	unreg func() // removes coord from the front end's Health tracking
+
+	// Stats cache. Shared-session handlers run concurrently, so it has
+	// its own lock rather than riding on smu.
+	stmu sync.Mutex
+	st   *stats.Stats
+}
+
+func (sess *feSession) cachedStats(g *graph.Graph) *stats.Stats {
+	sess.stmu.Lock()
+	st := sess.st
+	sess.stmu.Unlock()
+	if st != nil {
+		return st
+	}
+	st = stats.Collect(g)
+	sess.stmu.Lock()
+	sess.st = st
+	sess.stmu.Unlock()
+	return st
+}
+
+func (sess *feSession) invalidateStats() {
+	sess.stmu.Lock()
+	sess.st = nil
+	sess.stmu.Unlock()
 }
 
 // reset tears the session's cluster down: the supervisor hook is
@@ -201,75 +279,57 @@ func (sess *feSession) reset() {
 		sess.coord.Close()
 		sess.coord = nil
 	}
-	sess.st = nil
+	sess.invalidateStats()
 }
 
 func (sess *feSession) close() { sess.reset() }
+
+// connState is one connection's slice of front-end state: its private
+// cluster session in Isolate mode, its tenant attachment in shared mode.
+// ServeProtocol serves one request at a time per connection, so connState
+// needs no lock.
+type connState struct {
+	sess      *feSession // Isolate mode only
+	tenant    string     // attached tenant session; "" until first use
+	ephemeral bool       // created for this connection; evict on disconnect
+}
 
 // ServeConn serves the protocol on one established connection and blocks
 // until it closes. The request loop itself is the server package's
 // ServeProtocol, so framing cannot diverge between qgpd and qgpcluster.
 func (f *Frontend) ServeConn(conn net.Conn) {
-	sess := &feSession{}
-	// A dropped connection — graceful or abrupt — tears down the
-	// per-connection cluster; the shared durable session (when Durable
-	// is configured) is not touched, it belongs to the front end.
-	defer sess.close()
+	cs := &connState{}
+	if f.cfg.Isolate {
+		cs.sess = &feSession{}
+	}
+	defer func() {
+		// A dropped connection — graceful or abrupt — tears down the
+		// per-connection cluster (Isolate) or releases the tenant
+		// attachment (shared; an ephemeral session is evicted with its
+		// last connection, a named one lingers until idle timeout).
+		if cs.sess != nil {
+			cs.sess.close()
+		}
+		if cs.tenant != "" && f.tenants != nil {
+			f.tenants.Release(cs.tenant, cs.ephemeral)
+		}
+	}()
 	server.ServeProtocol(conn, server.ProtocolConfig{
 		MaxLineBytes: f.cfg.MaxLineBytes,
 		IdleTimeout:  f.cfg.IdleTimeout,
 		Logf:         f.cfg.Logf,
 		Name:         "cluster frontend",
-	}, func(req *server.Request) server.Response { return f.handle(sess, req) })
+	}, func(req *server.Request) server.Response { return f.handle(cs, req) })
 }
 
-func (f *Frontend) handle(sess *feSession, req *server.Request) server.Response {
-	if f.cfg.Durable != nil {
-		// One shared, serialized session: the coordinator serializes its
-		// own operations, dmu additionally covers the session bookkeeping
-		// (stats cache, lazy recovery) shared across connections.
-		f.dmu.Lock()
-		defer f.dmu.Unlock()
-		var err error
-		if sess, err = f.durableSession(); err != nil {
-			var resp server.Response
-			resp.Error = err.Error()
-			return resp
-		}
-	}
+func (f *Frontend) handle(cs *connState, req *server.Request) server.Response {
 	start := time.Now()
 	var resp server.Response
 	var err error
-	switch req.Cmd {
-	case "ping":
-		resp.Pong = true
-	case "gen", "load":
-		err = f.handleGraph(sess, req, &resp)
-	case "match":
-		err = f.handleMatch(sess, req, &resp)
-	case "update":
-		err = f.handleUpdate(sess, req, &resp)
-	case "watch":
-		err = f.handleWatch(sess, req, &resp)
-	case "unwatch":
-		err = f.handleUnwatch(sess, req, &resp)
-	case "stats":
-		err = f.handleStats(sess, req, &resp)
-	case "partition":
-		err = f.handlePartition(sess, req, &resp)
-	case "explain":
-		err = f.handleExplain(sess, req, &resp)
-	case "profile":
-		err = f.handleProfile(sess, req, &resp)
-	case "metrics":
-		// The front end and its coordinators share one registry
-		// (FrontendConfig.Cluster.Metrics), so the snapshot covers every
-		// session's fan-out counters; "{}" when none is configured.
-		resp.Obs = f.cfg.Cluster.Metrics.JSON()
-	case "pmatch", "rule", "rpqfilter", "fragment", "assign":
-		err = fmt.Errorf("command %q is not served by the cluster front end; connect to a worker qgpd for it", req.Cmd)
-	default:
-		err = fmt.Errorf("unknown command %q", req.Cmd)
+	if f.cfg.Isolate {
+		err = f.handleIsolated(cs.sess, req, &resp)
+	} else {
+		err = f.handleShared(cs, req, &resp)
 	}
 	if err != nil {
 		resp.Error = err.Error()
@@ -278,33 +338,294 @@ func (f *Frontend) handle(sess *feSession, req *server.Request) server.Response 
 	return resp
 }
 
-// durableSession returns the shared journal-backed session, building its
-// cluster from the recovered graph and watches on first use. Callers
-// hold dmu. A failed recovery is returned to the requesting client and
-// retried on the next request.
-func (f *Frontend) durableSession() (*feSession, error) {
-	if f.dsess != nil {
-		return f.dsess, nil
-	}
-	sess := &feSession{}
-	if g := f.cfg.Durable.Graph; g != nil {
-		if err := f.buildCluster(sess, g, true); err != nil {
-			return nil, fmt.Errorf("recovering journaled cluster: %w", err)
+// handleIsolated dispatches against the connection's private cluster
+// session (legacy model).
+func (f *Frontend) handleIsolated(sess *feSession, req *server.Request, resp *server.Response) error {
+	switch req.Cmd {
+	case "ping":
+		resp.Pong = true
+		return nil
+	case "gen", "load":
+		g, err := f.buildGraph(req)
+		if err != nil {
+			return err
 		}
-		for _, name := range sortedKeys(f.cfg.Durable.Watches) {
-			q, err := core.Parse(f.cfg.Durable.Watches[name])
-			if err != nil {
-				sess.close()
-				return nil, fmt.Errorf("recovering watch %q: %w", name, err)
-			}
-			if _, err := sess.coord.Watch(name, q); err != nil {
-				sess.close()
-				return nil, fmt.Errorf("recovering watch %q: %w", name, err)
-			}
+		if err := f.buildCluster(sess, g, false); err != nil {
+			return err
+		}
+		g = sess.coord.Graph() // normalized version
+		resp.Nodes, resp.Edges = g.NumNodes(), g.NumEdges()
+		return nil
+	case "metrics":
+		resp.Obs = f.cfg.Cluster.Metrics.JSON()
+		return nil
+	case "session", "sessions", "endsession", "deltas":
+		return fmt.Errorf("command %q needs the shared-session front end; this one runs with -isolate (cluster per connection)", req.Cmd)
+	}
+	if sess.coord == nil {
+		return errNoCluster
+	}
+	return f.dispatch(sess, sess.coord, nil, req, resp)
+}
+
+// handleShared dispatches against the one shared cluster session,
+// multiplexed across connections by the tenant manager.
+func (f *Frontend) handleShared(cs *connState, req *server.Request, resp *server.Response) error {
+	switch req.Cmd {
+	case "ping":
+		resp.Pong = true
+		return nil
+	case "gen", "load":
+		return f.handleSharedGraph(req, resp)
+	case "metrics":
+		resp.Obs = f.cfg.Cluster.Metrics.JSON()
+		return nil
+	case "session":
+		return f.handleSession(cs, req, resp)
+	case "sessions":
+		resp.Tenants = f.tenants.List()
+		return nil
+	case "endsession":
+		return f.handleEndSession(cs, req, resp)
+	case "deltas":
+		if err := f.ensureTenant(cs); err != nil {
+			return err
+		}
+		ds, err := f.tenants.Drain(cs.tenant)
+		if err != nil {
+			return err
+		}
+		resp.Deltas = ds
+		resp.Session = cs.tenant
+		return nil
+	case "watch":
+		if err := f.ensureTenant(cs); err != nil {
+			return err
+		}
+		q, err := core.Parse(req.Pattern)
+		if err != nil {
+			return err
+		}
+		// The tenant manager registers the encoded global name through
+		// this front end (tenant.Registrar), reaching the shared
+		// coordinator underneath.
+		answers, err := f.tenants.Watch(cs.tenant, req.Watch, q)
+		if err != nil {
+			return err
+		}
+		server.FillMatches(resp, answers, req.Limit)
+		resp.Session = cs.tenant
+		return nil
+	case "unwatch":
+		if err := f.ensureTenant(cs); err != nil {
+			return err
+		}
+		return f.tenants.Unwatch(cs.tenant, req.Watch)
+	}
+	sess, coord, err := f.sharedSession()
+	if err != nil {
+		return err
+	}
+	return f.dispatch(sess, coord, cs, req, resp)
+}
+
+// dispatch serves the commands common to both models against a concrete
+// coordinator. cs is nil in Isolate mode: no tenant layer, so no fences
+// and updates return every watch's deltas directly.
+func (f *Frontend) dispatch(sess *feSession, coord *Coordinator, cs *connState, req *server.Request, resp *server.Response) error {
+	switch req.Cmd {
+	case "match":
+		return f.handleMatch(coord, cs, req, resp)
+	case "update":
+		return f.handleUpdate(sess, coord, cs, req, resp)
+	case "watch": // Isolate mode only; shared watch goes via the tenant manager
+		q, err := core.Parse(req.Pattern)
+		if err != nil {
+			return err
+		}
+		answers, err := coord.Watch(req.Watch, q)
+		if err != nil {
+			return err
+		}
+		server.FillMatches(resp, answers, req.Limit)
+		return nil
+	case "unwatch":
+		return coord.Unwatch(req.Watch)
+	case "stats":
+		return f.handleStats(sess, coord, req, resp)
+	case "partition":
+		return f.handlePartition(coord, resp)
+	case "explain":
+		return f.handleExplain(coord, req, resp)
+	case "profile":
+		return f.handleProfile(sess, coord, cs, req, resp)
+	case "pmatch", "rule", "rpqfilter", "fragment", "assign":
+		return fmt.Errorf("command %q is not served by the cluster front end; connect to a worker qgpd for it", req.Cmd)
+	default:
+		return fmt.Errorf("unknown command %q", req.Cmd)
+	}
+}
+
+// ensureTenant lazily attaches the connection to a fresh ephemeral
+// session: a client that never sends the session command still gets a
+// private watch namespace and a read-your-writes fence, scoped to its
+// connection.
+func (f *Frontend) ensureTenant(cs *connState) error {
+	if cs.tenant != "" {
+		return nil
+	}
+	name, err := f.tenants.Attach("")
+	if err != nil {
+		return err
+	}
+	cs.tenant, cs.ephemeral = name, true
+	return nil
+}
+
+func (f *Frontend) handleSession(cs *connState, req *server.Request, resp *server.Response) error {
+	name, err := f.tenants.Attach(req.Session)
+	if err != nil {
+		return err
+	}
+	switch {
+	case cs.tenant == name:
+		// Re-attach to the current session: drop the extra hold.
+		f.tenants.Release(name, false)
+	case cs.tenant != "":
+		f.tenants.Release(cs.tenant, cs.ephemeral)
+		fallthrough
+	default:
+		cs.tenant, cs.ephemeral = name, req.Session == ""
+	}
+	resp.Session = name
+	return nil
+}
+
+func (f *Frontend) handleEndSession(cs *connState, req *server.Request, resp *server.Response) error {
+	target := req.Session
+	if target == "" {
+		if cs.tenant == "" {
+			return errors.New("endsession: no session attached to this connection")
+		}
+		target = cs.tenant
+	}
+	f.tenants.Evict(target)
+	if target == cs.tenant {
+		cs.tenant, cs.ephemeral = "", false
+	}
+	resp.Session = target
+	return nil
+}
+
+// sharedSession returns the shared session and a snapshot of its current
+// coordinator, applying lazy durable recovery on first use. A failed
+// recovery is returned to the requesting client and retried on the next
+// request.
+func (f *Frontend) sharedSession() (*feSession, *Coordinator, error) {
+	f.smu.Lock()
+	defer f.smu.Unlock()
+	if err := f.recoverLocked(); err != nil {
+		return nil, nil, err
+	}
+	if f.ssess.coord == nil {
+		return nil, nil, errNoCluster
+	}
+	return f.ssess, f.ssess.coord, nil
+}
+
+// recoverLocked builds the shared cluster from journal-recovered state on
+// the first request after a durable restart: the graph is re-fragmented
+// and re-shipped, every recovered watch re-registered under its global
+// name, and the tenant manager's per-session watch tables rebuilt by
+// decoding those names. Callers hold smu.
+func (f *Frontend) recoverLocked() error {
+	if f.srecov {
+		return nil
+	}
+	if f.cfg.Durable == nil || f.cfg.Durable.Graph == nil {
+		f.srecov = true
+		return nil
+	}
+	if err := f.buildCluster(f.ssess, f.cfg.Durable.Graph, true); err != nil {
+		return fmt.Errorf("recovering journaled cluster: %w", err)
+	}
+	for _, name := range sortedKeys(f.cfg.Durable.Watches) {
+		q, err := core.Parse(f.cfg.Durable.Watches[name])
+		if err != nil {
+			f.ssess.close()
+			return fmt.Errorf("recovering watch %q: %w", name, err)
+		}
+		if _, err := f.ssess.coord.Watch(name, q); err != nil {
+			f.ssess.close()
+			return fmt.Errorf("recovering watch %q: %w", name, err)
 		}
 	}
-	f.dsess = sess
-	return sess, nil
+	tables := make(map[string]map[string]string)
+	for name, pattern := range f.cfg.Durable.Watches {
+		tn, w := tenant.SplitName(name)
+		if tables[tn] == nil {
+			tables[tn] = make(map[string]string)
+		}
+		tables[tn][w] = pattern
+	}
+	f.tenants.Restore(tables)
+	f.srecov = true
+	return nil
+}
+
+// handleSharedGraph serves gen and load on the shared session: the one
+// cluster is rebuilt and every tenant's watch table reset (their watches
+// and version fences died with the old coordinator).
+func (f *Frontend) handleSharedGraph(req *server.Request, resp *server.Response) error {
+	g, err := f.buildGraph(req)
+	if err != nil {
+		return err
+	}
+	f.smu.Lock()
+	defer f.smu.Unlock()
+	f.srecov = true // an explicit graph supersedes journal recovery
+	if err := f.buildCluster(f.ssess, g, f.cfg.Durable != nil); err != nil {
+		return err
+	}
+	f.tenants.Reset()
+	g = f.ssess.coord.Graph() // normalized version
+	resp.Nodes, resp.Edges = g.NumNodes(), g.NumEdges()
+	return nil
+}
+
+// buildGraph constructs and size-checks a gen/load graph; the
+// construction is shared with the single server (server.BuildGraph), so
+// the two vocabularies cannot diverge.
+func (f *Frontend) buildGraph(req *server.Request) (*graph.Graph, error) {
+	g, err := server.BuildGraph(req)
+	if err != nil {
+		return nil, err
+	}
+	if g.Size() > f.cfg.MaxGraphSize {
+		return nil, fmt.Errorf("graph size %d exceeds front-end cap %d", g.Size(), f.cfg.MaxGraphSize)
+	}
+	return g, nil
+}
+
+// Watch implements tenant.Registrar: tenant watches land on the current
+// shared coordinator under their encoded global names. Indirecting
+// through the front end rather than capturing a coordinator keeps the
+// registrar valid across graph rebuilds.
+func (f *Frontend) Watch(name string, q *core.Pattern) ([]graph.NodeID, error) {
+	_, coord, err := f.sharedSession()
+	if err != nil {
+		return nil, err
+	}
+	return coord.Watch(name, q)
+}
+
+// Unwatch implements tenant.Registrar.
+func (f *Frontend) Unwatch(name string) error {
+	_, coord, err := f.sharedSession()
+	if err != nil {
+		return err
+	}
+	return coord.Unwatch(name)
 }
 
 // ClusterHealth is one live cluster session's slice of the front end's
@@ -380,6 +701,12 @@ func (f *Frontend) buildCluster(sess *feSession, g *graph.Graph, durable bool) e
 	} else {
 		ccfg.Journal = nil
 	}
+	if !f.cfg.Isolate && ccfg.MaxWatches == 0 {
+		// The shared coordinator aggregates every tenant's watches;
+		// quotas are per tenant in the manager, so the per-session cap
+		// makes no sense here. An explicit positive cap is respected.
+		ccfg.MaxWatches = -1
+	}
 	coord, err := New(g, ts, ccfg)
 	if err != nil {
 		CloseAll(ts) // New failed: ownership stayed with us
@@ -400,43 +727,12 @@ func (f *Frontend) buildCluster(sess *feSession, g *graph.Graph, durable bool) e
 	return nil
 }
 
-// setGraph builds (or rebuilds) the session's coordinator over g.
-func (f *Frontend) setGraph(sess *feSession, g *graph.Graph) error {
-	if g.Size() > f.cfg.MaxGraphSize {
-		return fmt.Errorf("graph size %d exceeds front-end cap %d", g.Size(), f.cfg.MaxGraphSize)
-	}
-	return f.buildCluster(sess, g, f.cfg.Durable != nil && sess == f.dsess)
-}
-
-// handleGraph serves gen and load: the graph construction is shared with
-// the single server (server.BuildGraph), so the two vocabularies cannot
-// diverge.
-func (f *Frontend) handleGraph(sess *feSession, req *server.Request, resp *server.Response) error {
-	g, err := server.BuildGraph(req)
-	if err != nil {
-		return err
-	}
-	if err := f.setGraph(sess, g); err != nil {
-		return err
-	}
-	g = sess.coord.Graph() // normalized version
-	resp.Nodes, resp.Edges = g.NumNodes(), g.NumEdges()
-	return nil
-}
-
-func (f *Frontend) handleMatch(sess *feSession, req *server.Request, resp *server.Response) error {
-	if sess.coord == nil {
-		return errNoCluster
-	}
+func (f *Frontend) handleMatch(coord *Coordinator, cs *connState, req *server.Request, resp *server.Response) error {
 	q, err := core.Parse(req.Pattern)
 	if err != nil {
 		return err
 	}
-	res, err := sess.coord.MatchWith(q, &MatchOptions{
-		Engine:  req.Engine,
-		Budget:  req.Budget,
-		Planner: req.Planner,
-	})
+	res, err := coord.MatchWith(q, f.matchOptions(cs, req))
 	if err != nil {
 		return err
 	}
@@ -445,10 +741,22 @@ func (f *Frontend) handleMatch(sess *feSession, req *server.Request, resp *serve
 	return nil
 }
 
-func (f *Frontend) handleUpdate(sess *feSession, req *server.Request, resp *server.Response) error {
-	if sess.coord == nil {
-		return errNoCluster
+// matchOptions builds a read's options; an attached tenant's reads are
+// fenced at its last accepted write, so replica routing can never serve
+// it a copy that predates its own update.
+func (f *Frontend) matchOptions(cs *connState, req *server.Request) *MatchOptions {
+	opts := &MatchOptions{
+		Engine:  req.Engine,
+		Budget:  req.Budget,
+		Planner: req.Planner,
 	}
+	if cs != nil && cs.tenant != "" && f.tenants != nil {
+		opts.MinVersion = f.tenants.NoteRead(cs.tenant)
+	}
+	return opts
+}
+
+func (f *Frontend) handleUpdate(sess *feSession, coord *Coordinator, cs *connState, req *server.Request, resp *server.Response) error {
 	// The combined-batch fields are coordinator→worker routing, not
 	// client vocabulary: the coordinator computes assignment and the
 	// affected set itself. Reject rather than silently drop them, as
@@ -456,27 +764,44 @@ func (f *Frontend) handleUpdate(sess *feSession, req *server.Request, resp *serv
 	if len(req.Owned) > 0 || req.Scoped || len(req.Affected) > 0 {
 		return fmt.Errorf("update fields owned/scoped/affected are not served by the cluster front end; the coordinator computes routing itself")
 	}
-	res, err := sess.coord.Update(req.Updates)
+	if cs != nil {
+		if err := f.ensureTenant(cs); err != nil {
+			return err
+		}
+	}
+	res, err := coord.Update(req.Updates)
 	if err != nil {
 		return err
 	}
-	sess.st = nil
+	sess.invalidateStats()
 	resp.Nodes, resp.Edges = res.Nodes, res.Edges
-	resp.Deltas = res.Deltas
+	f.finishWrite(cs, res, resp)
 	return nil
+}
+
+// finishWrite routes an accepted update's deltas and fence. In shared
+// mode the writer gets only its own namespace's deltas back (other
+// tenants drain theirs with the deltas command) and its fence advances to
+// the batch's version token; in Isolate mode the response carries every
+// delta, as a private cluster always did.
+func (f *Frontend) finishWrite(cs *connState, res *UpdateResult, resp *server.Response) {
+	if cs == nil || f.tenants == nil {
+		resp.Deltas = res.Deltas
+		return
+	}
+	resp.Deltas = f.tenants.RecordDeltas(cs.tenant, res.Deltas)
+	f.tenants.NoteWrite(cs.tenant, res.Version)
+	resp.Session = cs.tenant
 }
 
 // handleExplain fans the plan-only command out and returns the merged
 // per-fragment plan documents in Profile.
-func (f *Frontend) handleExplain(sess *feSession, req *server.Request, resp *server.Response) error {
-	if sess.coord == nil {
-		return errNoCluster
-	}
+func (f *Frontend) handleExplain(coord *Coordinator, req *server.Request, resp *server.Response) error {
 	q, err := core.Parse(req.Pattern)
 	if err != nil {
 		return err
 	}
-	ex, err := sess.coord.Explain(q)
+	ex, err := coord.Explain(q)
 	if err != nil {
 		return err
 	}
@@ -487,34 +812,32 @@ func (f *Frontend) handleExplain(sess *feSession, req *server.Request, resp *ser
 // pattern profiles a cluster match, an update batch profiles the
 // maintenance pipeline. The merged cluster-level document travels in
 // Profile with each worker's own document embedded verbatim.
-func (f *Frontend) handleProfile(sess *feSession, req *server.Request, resp *server.Response) error {
-	if sess.coord == nil {
-		return errNoCluster
-	}
+func (f *Frontend) handleProfile(sess *feSession, coord *Coordinator, cs *connState, req *server.Request, resp *server.Response) error {
 	switch {
 	case len(req.Updates) > 0:
 		// Same client-vocabulary boundary as handleUpdate.
 		if len(req.Owned) > 0 || req.Scoped || len(req.Affected) > 0 {
 			return fmt.Errorf("update fields owned/scoped/affected are not served by the cluster front end; the coordinator computes routing itself")
 		}
-		res, prof, err := sess.coord.UpdateProfiled(req.Updates)
+		if cs != nil {
+			if err := f.ensureTenant(cs); err != nil {
+				return err
+			}
+		}
+		res, prof, err := coord.UpdateProfiled(req.Updates)
 		if err != nil {
 			return err
 		}
-		sess.st = nil
+		sess.invalidateStats()
 		resp.Nodes, resp.Edges = res.Nodes, res.Edges
-		resp.Deltas = res.Deltas
+		f.finishWrite(cs, res, resp)
 		return fillProfile(resp, prof)
 	case req.Pattern != "":
 		q, err := core.Parse(req.Pattern)
 		if err != nil {
 			return err
 		}
-		res, prof, err := sess.coord.ProfileMatch(q, &MatchOptions{
-			Engine:  req.Engine,
-			Budget:  req.Budget,
-			Planner: req.Planner,
-		})
+		res, prof, err := coord.ProfileMatch(q, f.matchOptions(cs, req))
 		if err != nil {
 			return err
 		}
@@ -536,38 +859,9 @@ func fillProfile(resp *server.Response, doc interface{}) error {
 	return nil
 }
 
-func (f *Frontend) handleWatch(sess *feSession, req *server.Request, resp *server.Response) error {
-	if sess.coord == nil {
-		return errNoCluster
-	}
-	q, err := core.Parse(req.Pattern)
-	if err != nil {
-		return err
-	}
-	answers, err := sess.coord.Watch(req.Watch, q)
-	if err != nil {
-		return err
-	}
-	server.FillMatches(resp, answers, req.Limit)
-	return nil
-}
-
-func (f *Frontend) handleUnwatch(sess *feSession, req *server.Request, resp *server.Response) error {
-	if sess.coord == nil {
-		return errNoCluster
-	}
-	return sess.coord.Unwatch(req.Watch)
-}
-
-func (f *Frontend) handleStats(sess *feSession, req *server.Request, resp *server.Response) error {
-	if sess.coord == nil {
-		return errNoCluster
-	}
-	g := sess.coord.Graph()
-	if sess.st == nil {
-		sess.st = stats.Collect(g)
-	}
-	st := sess.st
+func (f *Frontend) handleStats(sess *feSession, coord *Coordinator, req *server.Request, resp *server.Response) error {
+	g := coord.Graph()
+	st := sess.cachedStats(g)
 	resp.Nodes, resp.Edges = st.Nodes, st.Edges
 	resp.Labels = len(st.LabelCount)
 	k := req.TopK
@@ -580,11 +874,8 @@ func (f *Frontend) handleStats(sess *feSession, req *server.Request, resp *serve
 	return nil
 }
 
-func (f *Frontend) handlePartition(sess *feSession, req *server.Request, resp *server.Response) error {
-	if sess.coord == nil {
-		return errNoCluster
-	}
-	sizes := sess.coord.FragmentSizes()
+func (f *Frontend) handlePartition(coord *Coordinator, resp *server.Response) error {
+	sizes := coord.FragmentSizes()
 	min, max := -1, 0
 	for _, s := range sizes {
 		resp.Fragments = append(resp.Fragments, s)

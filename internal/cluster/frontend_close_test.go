@@ -23,16 +23,20 @@ func (t *closeCounting) Close() error {
 	return t.Transport.Close()
 }
 
-// TestFrontendClosesWorkersOnDisconnect: an abrupt client disconnect
-// must tear the per-connection cluster down — the coordinator and every
-// worker session it owns, including pool-acquired replicas — instead of
-// leaking them for the process lifetime.
+// TestFrontendClosesWorkersOnDisconnect: in Isolate mode (the legacy
+// cluster-per-connection model) an abrupt client disconnect must tear
+// the per-connection cluster down — the coordinator and every worker
+// session it owns, including pool-acquired replicas — instead of leaking
+// them for the process lifetime. (In the default shared-session mode the
+// cluster deliberately outlives connections; TestFrontendSharedSession
+// covers that.)
 func TestFrontendClosesWorkersOnDisconnect(t *testing.T) {
 	var mu sync.Mutex
 	var made []*closeCounting
 	pool := newTestPool(4)
 	fe := NewFrontend(FrontendConfig{
 		Cluster: Config{D: 2, Replicas: 2, Pool: pool},
+		Isolate: true,
 		NewWorkers: func() ([]Transport, error) {
 			ts := make([]Transport, 2)
 			mu.Lock()

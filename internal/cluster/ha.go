@@ -158,7 +158,14 @@ func (c *Coordinator) reship(w *worker, state graph.View) (*replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.newCopy(w, req, len(w.owned))
+	r, err := c.newCopy(w, req, len(w.owned))
+	if err != nil {
+		return nil, err
+	}
+	// The fresh copy is built from the authoritative graph at its
+	// current sync point, so it is synced to the current batch version.
+	r.version = c.version
+	return r, nil
 }
 
 // shipRequest serializes w's fragment at the given authoritative-graph
@@ -280,8 +287,8 @@ type ProbeResult struct {
 // it performs no failover — internal/ha's Monitor applies its failure
 // policy to the results and calls FailOver and Repair.
 func (c *Coordinator) Probe() ([]ProbeResult, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if err := c.refuseLocked(); err != nil {
 		return nil, err
 	}
@@ -357,6 +364,11 @@ func (c *Coordinator) Repair() (RepairReport, error) {
 	if err := c.refuseLocked(); err != nil {
 		return rep, err
 	}
+	// Copies a routed read marked suspect are dropped up front: even
+	// when a probe would pass (a transient transport error), the read
+	// router skips suspects forever, so replacing them restores read
+	// capacity.
+	c.pruneSuspectsLocked()
 	var firstErr error
 	for _, w := range c.workers {
 		kept := w.replicas[:0]
@@ -397,8 +409,8 @@ type FragmentStatus struct {
 
 // Status reports the serving state of every fragment.
 func (c *Coordinator) Status() []FragmentStatus {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]FragmentStatus, len(c.workers))
 	for i, w := range c.workers {
 		out[i] = FragmentStatus{
@@ -434,8 +446,8 @@ type FragmentHealth struct {
 // coordinator — the error is returned alongside the last-known topology so
 // /healthz can show what the cluster looked like when it stopped.
 func (c *Coordinator) Health() ([]FragmentHealth, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]FragmentHealth, len(c.workers))
 	refused := c.refuseLocked()
 	for i, w := range c.workers {
@@ -466,8 +478,8 @@ func (c *Coordinator) Health() ([]FragmentHealth, error) {
 
 // ReplicaCounts returns each fragment's current warm-replica count.
 func (c *Coordinator) ReplicaCounts() []int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	counts := make([]int, len(c.workers))
 	for i, w := range c.workers {
 		counts[i] = len(w.replicas)

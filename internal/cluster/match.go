@@ -1,12 +1,14 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/server"
 )
@@ -29,6 +31,12 @@ type MatchOptions struct {
 	Engine  string // per-worker engine: qmatch | qmatchn | enum
 	Budget  int64  // extension budget forwarded to workers
 	Planner bool   // let each worker plan its matching order from fragment stats
+	// MinVersion is the read-your-writes fence: the read is only served
+	// from fragment copies synced to this coordinator batch version or
+	// later (Coordinator.Version / UpdateResult.Version after the
+	// caller's last write). The primary always qualifies. 0 accepts any
+	// live copy.
+	MinVersion uint64
 }
 
 // Match evaluates a quantified pattern across the cluster: the pattern is
@@ -58,6 +66,13 @@ func (c *Coordinator) ProfileMatch(q *core.Pattern, opts *MatchOptions) (*MatchR
 
 // matchWith runs one cluster match; prof non-nil switches the workers to
 // the profile command and collects the merged profile.
+//
+// The fan-out first runs under the read side of c.mu with each
+// fragment's request routed to its least-loaded live copy (readroute.go),
+// so concurrent matches overlap across the k copies of every fragment.
+// Only when a fragment has no live copy does the call retry under the
+// write lock, where sendPrimary can promote a warm replica or re-ship
+// the fragment.
 func (c *Coordinator) matchWith(q *core.Pattern, opts *MatchOptions, prof *MatchProfile) (res *MatchResult, _ *MatchProfile, err error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("cluster: %w", err)
@@ -68,13 +83,35 @@ func (c *Coordinator) matchWith(q *core.Pattern, opts *MatchOptions, prof *Match
 	start := time.Now()
 	tr := c.cfg.Tracer.Start("match")
 	defer func() { tr.Finish(err) }()
-	c.mu.Lock()
-	defer c.mu.Unlock()
+
+	c.mu.RLock()
+	res, prof, err = c.matchLocked(q, opts, prof, tr, start, true)
+	c.mu.RUnlock()
+	if errors.Is(err, errReadFailover) {
+		// A fragment lost every live copy mid-read: take the write lock,
+		// drop the suspects and rerun the fan-out through sendPrimary,
+		// which fails over (promotion or re-ship) as needed. Matching
+		// does not change fragment state, so the retry is always safe.
+		c.om.readFellBack()
+		c.mu.Lock()
+		c.pruneSuspectsLocked()
+		res, prof, err = c.matchLocked(q, opts, prof, tr, start, false)
+		c.mu.Unlock()
+	}
+	return res, prof, err
+}
+
+// matchLocked runs the fan-out and merge under whichever side of c.mu
+// the caller holds: readPath true routes each fragment across its
+// copies (read lock, no state mutation), false uses sendPrimary with
+// full failover (write lock).
+func (c *Coordinator) matchLocked(q *core.Pattern, opts *MatchOptions, prof *MatchProfile, tr *obs.Trace, start time.Time, readPath bool) (res *MatchResult, _ *MatchProfile, err error) {
 	if err := c.refuseLocked(); err != nil {
 		return nil, nil, err
 	}
 
 	engine, budget, planner := c.cfg.Engine, c.cfg.Budget, false
+	var minV uint64
 	if opts != nil {
 		if opts.Engine != "" {
 			engine = opts.Engine
@@ -83,6 +120,7 @@ func (c *Coordinator) matchWith(q *core.Pattern, opts *MatchOptions, prof *Match
 			budget = opts.Budget
 		}
 		planner = opts.Planner
+		minV = opts.MinVersion
 	}
 	cmd := "match"
 	if prof != nil {
@@ -98,17 +136,21 @@ func (c *Coordinator) matchWith(q *core.Pattern, opts *MatchOptions, prof *Match
 	pattern := q.String()
 	responses := make([]*server.Response, len(c.workers))
 	err = c.fanOut(func(w *worker) error {
-		// Matching does not change fragment state, so a failover here
-		// (against the current authoritative graph) and a plain retry
-		// are always safe.
 		t0 := time.Now()
-		resp, err := c.sendPrimary(w, cmd, &server.Request{
+		req := &server.Request{
 			Cmd:     cmd,
 			Pattern: pattern,
 			Engine:  engine,
 			Budget:  budget,
 			Planner: planner,
-		}, c.g)
+		}
+		var resp *server.Response
+		var err error
+		if readPath {
+			resp, err = c.sendRead(w, cmd, req, minV)
+		} else {
+			resp, err = c.sendPrimary(w, cmd, req, c.g)
+		}
 		if err != nil {
 			return err
 		}

@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -98,23 +100,45 @@ type FragmentExplain struct {
 }
 
 // Explain fans the explain command out to every worker and merges the
-// per-fragment plan documents. Nothing is executed.
+// per-fragment plan documents. Nothing is executed. Like Match it is
+// read-only, so it routes across fragment copies under the read lock
+// and falls back to the write-locked failover path only when a fragment
+// has no live copy.
 func (c *Coordinator) Explain(q *core.Pattern) (res *ExplainResult, err error) {
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	tr := c.cfg.Tracer.Start("explain")
 	defer func() { tr.Finish(err) }()
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	res, err = c.explainLocked(q, tr, true)
+	c.mu.RUnlock()
+	if errors.Is(err, errReadFailover) {
+		c.om.readFellBack()
+		c.mu.Lock()
+		c.pruneSuspectsLocked()
+		res, err = c.explainLocked(q, tr, false)
+		c.mu.Unlock()
+	}
+	return res, err
+}
+
+func (c *Coordinator) explainLocked(q *core.Pattern, tr *obs.Trace, readPath bool) (*ExplainResult, error) {
 	if err := c.refuseLocked(); err != nil {
 		return nil, err
 	}
 	out := &ExplainResult{Op: "explain", Workers: len(c.workers), Fragments: make([]FragmentExplain, len(c.workers))}
 	pattern := q.String()
-	err = c.fanOut(func(w *worker) error {
+	err := c.fanOut(func(w *worker) error {
 		t0 := time.Now()
-		resp, err := c.sendPrimary(w, "explain", &server.Request{Cmd: "explain", Pattern: pattern}, c.g)
+		req := &server.Request{Cmd: "explain", Pattern: pattern}
+		var resp *server.Response
+		var err error
+		if readPath {
+			resp, err = c.sendRead(w, "explain", req, 0)
+		} else {
+			resp, err = c.sendPrimary(w, "explain", req, c.g)
+		}
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+// TestLeastLoadedCopy: the router picks by read score, skips suspects,
+// and honors the version fence (primary always eligible).
+func TestLeastLoadedCopy(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(200, 13))
+	pool := newTestPool(4)
+	c, err := New(g, InProcessN(2, server.Config{}), Config{D: 2, Replicas: 3, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	w := c.workers[0]
+	if len(w.replicas) != 2 {
+		t.Fatalf("expected 2 warm replicas, got %d", len(w.replicas))
+	}
+	// All idle: any copy qualifies; loading the chosen one must steer the
+	// next pick elsewhere.
+	first := w.leastLoadedCopy(0)
+	atomic.AddInt64(&first.inflight, 5)
+	second := w.leastLoadedCopy(0)
+	if second == first {
+		t.Fatal("router re-picked the loaded copy")
+	}
+
+	// Fence: replicas below minV are ineligible, the primary always is.
+	w.replicas[0].version = 3
+	w.replicas[1].version = 7
+	atomic.AddInt64(&w.primary.inflight, 100) // make the primary maximally unattractive
+	if r := w.leastLoadedCopy(5); r != w.replicas[1] {
+		t.Fatalf("fenced pick chose a copy at version %d, want the one at 7", r.version)
+	}
+	if r := w.leastLoadedCopy(9); r != w.primary {
+		t.Fatal("fence past every replica must degrade to the primary")
+	}
+
+	// Suspects are skipped outright.
+	w.replicas[1].suspect.Store(true)
+	if r := w.leastLoadedCopy(5); r != w.primary {
+		t.Fatal("suspect replica served a fenced read")
+	}
+	w.primary.suspect.Store(true)
+	w.replicas[0].suspect.Store(true)
+	if r := w.leastLoadedCopy(0); r != nil {
+		t.Fatal("all copies suspect, router still picked one")
+	}
+}
+
+// TestReadsSpreadAcrossCopies: a burst of concurrent Match calls must
+// not pile onto one copy — with k=3 every copy of some fragment serves
+// reads.
+func TestReadsSpreadAcrossCopies(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(300, 13))
+	pool := newTestPool(6)
+	c, err := New(g, InProcessN(2, server.Config{}), Config{D: 2, Replicas: 3, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	q := mustParse(t, testPatterns[0])
+	want, err := c.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := c.Match(q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(res.Matches) != len(want.Matches) {
+				errs <- errReadFailover // any sentinel; we just need a failure
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent match: %v", err)
+	}
+
+	dist := c.ReadDistribution()
+	spread := false
+	for _, counts := range dist {
+		busy := 0
+		for _, n := range counts {
+			if n > 0 {
+				busy++
+			}
+		}
+		if busy >= 2 {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Fatalf("64 concurrent reads all served by one copy per fragment: %v", dist)
+	}
+}
+
+// TestMinVersionRestrictsReplicas: a fenced match (MinVersion ahead of
+// every replica) is served — by primaries — and an unfenced one still
+// routes freely. Exercises the MatchOptions plumbing end to end.
+func TestMinVersionRestrictsReplicas(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(200, 13))
+	pool := newTestPool(4)
+	c, err := New(g, InProcessN(2, server.Config{}), Config{D: 2, Replicas: 2, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	q := mustParse(t, testPatterns[0])
+
+	res, err := c.Update([]server.UpdateSpec{{Op: "addEdge", From: 1, To: 2, Label: "follow"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 1 || c.Version() != 1 {
+		t.Fatalf("version token %d / coordinator %d, want 1/1", res.Version, c.Version())
+	}
+
+	// Artificially stale every replica; a read fenced at the token must
+	// fall back to primaries and still succeed.
+	for _, w := range c.workers {
+		for _, r := range w.replicas {
+			r.version = 0
+		}
+	}
+	pre := c.ReadDistribution()
+	if _, err := c.MatchWith(q, &MatchOptions{MinVersion: res.Version}); err != nil {
+		t.Fatalf("fenced match: %v", err)
+	}
+	post := c.ReadDistribution()
+	for i := range post {
+		if post[i][0] != pre[i][0]+1 {
+			t.Fatalf("fragment %d: fenced read did not go to the primary (%v -> %v)", i, pre[i], post[i])
+		}
+		for j := 1; j < len(post[i]); j++ {
+			if post[i][j] != pre[i][j] {
+				t.Fatalf("fragment %d: stale replica served a fenced read", i)
+			}
+		}
+	}
+}
+
+// TestReadFailoverFallback: killing every copy of a fragment makes the
+// lock-free read path fail over to the write-locked path, which repairs
+// the cluster from the pool; the match still answers correctly.
+func TestReadFailoverFallback(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(200, 13))
+	pool := newTestPool(6)
+	ts := InProcessN(2, server.Config{})
+	c, err := New(g, ts, Config{D: 2, Replicas: 2, Pool: pool, Logf: func(string, ...interface{}) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	q := mustParse(t, testPatterns[0])
+	want, err := c.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill fragment 0 outright: primary transport and its warm replica.
+	c.workers[0].primary.t.Close()
+	for _, r := range c.workers[0].replicas {
+		r.t.Close()
+	}
+	got, err := c.Match(q)
+	if err != nil {
+		t.Fatalf("match after killing every copy of fragment 0: %v", err)
+	}
+	if len(got.Matches) != len(want.Matches) {
+		t.Fatalf("answers diverged after read failover: %d vs %d", len(got.Matches), len(want.Matches))
+	}
+	if c.om != nil && c.om.readFallbacks.Value() == 0 {
+		t.Fatal("fallback path did not record itself") // only with metrics configured
+	}
+}

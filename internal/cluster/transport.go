@@ -38,6 +38,20 @@ type Endpointer interface {
 	Endpoint() int
 }
 
+// ReadTracker is optionally implemented by pool-backed transports
+// (ha.pooled): the coordinator's replica-read router brackets every
+// routed read with ReadStart/ReadEnd and consults ReadLoad — the
+// endpoint-wide in-flight routed-read count — when picking the
+// least-loaded live copy of a fragment. Counting at the endpoint rather
+// than the copy means reads issued by other fragments and sessions on
+// the same endpoint steer routing too. Transports without it are scored
+// by the coordinator's own per-copy in-flight count.
+type ReadTracker interface {
+	ReadStart()
+	ReadEnd()
+	ReadLoad() int
+}
+
 // UpdateJournal receives the coordinator's durable state: the
 // authoritative graph at construction and every accepted update batch
 // and watch change. internal/ha implements it over internal/store's

@@ -34,6 +34,11 @@ type UpdateResult struct {
 	// observable: for a small batch on a large graph it should be far
 	// below |V|.
 	AffectedSize int
+	// Version is the coordinator batch counter after this batch. A
+	// caller that fences its later reads with MatchOptions.MinVersion =
+	// Version can never read a fragment copy that missed this batch —
+	// the read-your-writes token of the replica-read router.
+	Version uint64
 }
 
 // workerPlan is the update traffic computed for one worker, coalesced
@@ -113,6 +118,9 @@ func (c *Coordinator) update(specs []server.UpdateSpec, prof *UpdateProfile) (re
 	if err := c.refuseLocked(); err != nil {
 		return nil, err
 	}
+	// Replicas a routed read found dead are dropped now, before the
+	// mirror fan-out pays round trips to them.
+	c.pruneSuspectsLocked()
 	tapply := time.Now()
 	ups, err := server.ToUpdates(specs)
 	if err != nil {
@@ -316,6 +324,11 @@ func (c *Coordinator) update(specs []server.UpdateSpec, prof *UpdateProfile) (re
 	c.g = newG
 
 	out := &UpdateResult{Nodes: newG.NumNodes(), Edges: newG.NumEdges(), AffectedSize: len(reverify)}
+	// The batch is applied everywhere it needed to go: primaries saw it
+	// first, mirror() dropped every replica that failed it, and
+	// uncontacted fragments were untouched — so stamping every surviving
+	// copy with the new version is exact.
+	out.Version = c.bumpVersionLocked()
 	for i, hit := range contacted {
 		if hit {
 			out.Contacted = append(out.Contacted, i)

@@ -42,9 +42,15 @@ func (c *Coordinator) Watch(name string, q *core.Pattern) (initial []graph.NodeI
 	}
 	// Mirror the workers' per-session cap (server.go) before fanning out:
 	// hitting it on the workers would look like a partial failure and
-	// needlessly fail-stop the cluster.
-	if len(c.watches) >= 16 {
-		return nil, fmt.Errorf("cluster: session limit of 16 standing patterns reached")
+	// needlessly fail-stop the cluster. The multi-tenant front end lifts
+	// both caps (MaxWatches < 0, server.Config.MaxWatches < 0) and
+	// enforces per-tenant quotas itself.
+	max := c.cfg.MaxWatches
+	if max == 0 {
+		max = 16
+	}
+	if max > 0 && len(c.watches) >= max {
+		return nil, fmt.Errorf("cluster: session limit of %d standing patterns reached", max)
 	}
 
 	pattern := q.String()
@@ -122,8 +128,8 @@ func (c *Coordinator) Unwatch(name string) error {
 
 // Watches returns the registered watch names, sorted.
 func (c *Coordinator) Watches() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	names := make([]string, 0, len(c.watches))
 	for name := range c.watches {
 		names = append(names, name)

@@ -62,6 +62,12 @@ func TestDurableFrontendRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A named tenant session: its watches survive the disconnect (an
+	// ephemeral connection-scoped session's would be evicted with it)
+	// and so reach the journal's restart recovery.
+	if _, err := c1.Session("alice"); err != nil {
+		t.Fatalf("session: %v", err)
+	}
 	if _, _, err := c1.Gen("social", 150, 6); err != nil {
 		t.Fatalf("gen: %v", err)
 	}
@@ -107,6 +113,11 @@ func TestDurableFrontendRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c3.Close()
+	// Re-attach to the recovered named session: its watch namespace was
+	// rebuilt from the journal's tenant-grouped manifest.
+	if _, err := c3.Session("alice"); err != nil {
+		t.Fatalf("session after restart: %v", err)
+	}
 	post, err := c3.Match(pattern, nil)
 	if err != nil {
 		t.Fatalf("match after restart (no gen): %v", err)

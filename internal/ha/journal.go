@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 const watchesName = "watches.json"
@@ -101,12 +102,44 @@ func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
 		st.Close()
 		return nil, fmt.Errorf("ha: %w", err)
 	default:
-		if err := json.Unmarshal(b, &j.watches); err != nil {
+		if err := j.readWatches(b); err != nil {
 			st.Close()
 			return nil, fmt.Errorf("ha: watches manifest: %w", err)
 		}
 	}
 	return j, nil
+}
+
+// watchManifest is the on-disk shape of watches.json since the tenant
+// layer: version-tagged, with watches grouped per tenant session so the
+// manifest survives renames of the encoding. Pre-tenant directories hold
+// a bare flat map (no "v" key); readWatches accepts both.
+type watchManifest struct {
+	V       int                          `json:"v"`
+	Tenants map[string]map[string]string `json:"tenants"`
+}
+
+// readWatches parses either manifest generation into the flat
+// global-name → pattern map the coordinator registers from.
+func (j *Journal) readWatches(b []byte) error {
+	var m watchManifest
+	if err := json.Unmarshal(b, &m); err == nil && m.V >= 2 {
+		for tn, watches := range m.Tenants {
+			for w, pattern := range watches {
+				if tn == "" {
+					// Legacy un-namespaced watches carried into a v2
+					// manifest keep their bare global names.
+					j.watches[w] = pattern
+				} else {
+					j.watches[tenant.GlobalName(tn, w)] = pattern
+				}
+			}
+		}
+		return nil
+	}
+	// Legacy flat map: names are coordinator-global already (and decode
+	// as the "" tenant's watches through tenant.SplitName).
+	return json.Unmarshal(b, &j.watches)
 }
 
 // HasState reports whether the directory held a recoverable cluster
@@ -125,13 +158,30 @@ func (j *Journal) Graph() *graph.Graph {
 }
 
 // Watches returns a copy of the recovered (or current) standing-watch
-// set, watch name → pattern DSL.
+// set, global watch name → pattern DSL.
 func (j *Journal) Watches() map[string]string {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	out := make(map[string]string, len(j.watches))
 	for k, v := range j.watches {
 		out[k] = v
+	}
+	return out
+}
+
+// TenantWatches returns the standing-watch set grouped by tenant session
+// (global names decoded with tenant.SplitName; bare legacy names land
+// under tenant ""). The shape tenant.Manager.Restore takes.
+func (j *Journal) TenantWatches() map[string]map[string]string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]map[string]string)
+	for name, pattern := range j.watches {
+		tn, w := tenant.SplitName(name)
+		if out[tn] == nil {
+			out[tn] = make(map[string]string)
+		}
+		out[tn][w] = pattern
 	}
 	return out
 }
@@ -248,9 +298,18 @@ func (j *Journal) Close() error {
 }
 
 // writeWatchesLocked replaces watches.json atomically (tmp + rename),
-// mirroring the store's manifest discipline.
+// mirroring the store's manifest discipline. The on-disk shape is the v2
+// tenant-grouped manifest; the in-memory map stays flat (global names).
 func (j *Journal) writeWatchesLocked() error {
-	b, err := json.Marshal(j.watches)
+	m := watchManifest{V: 2, Tenants: make(map[string]map[string]string)}
+	for name, pattern := range j.watches {
+		tn, w := tenant.SplitName(name)
+		if m.Tenants[tn] == nil {
+			m.Tenants[tn] = make(map[string]string)
+		}
+		m.Tenants[tn][w] = pattern
+	}
+	b, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}

@@ -30,8 +30,15 @@ type Pool struct {
 	mu   sync.Mutex
 	load []int
 	open []int // open sessions per endpoint
-	dial func(endpoint int) (cluster.Transport, error)
-	name func(endpoint int) string
+	// reads counts the in-flight read-routed requests per endpoint: the
+	// coordinator's replica-read router brackets every routed Match with
+	// ReadStart/ReadEnd (via the pooled transport), so placement and
+	// routing decisions see live read traffic, not just shipped-fragment
+	// weight — a burst of Matches on one replica makes its endpoint look
+	// busy before any fragment moves.
+	reads []int
+	dial  func(endpoint int) (cluster.Transport, error)
+	name  func(endpoint int) string
 }
 
 // NewDialPool returns a pool whose endpoints are qgpd worker addresses;
@@ -39,9 +46,10 @@ type Pool struct {
 // chosen address.
 func NewDialPool(addrs []string) *Pool {
 	p := &Pool{
-		load: make([]int, len(addrs)),
-		open: make([]int, len(addrs)),
-		name: func(i int) string { return addrs[i] },
+		load:  make([]int, len(addrs)),
+		open:  make([]int, len(addrs)),
+		reads: make([]int, len(addrs)),
+		name:  func(i int) string { return addrs[i] },
 	}
 	p.dial = func(i int) (cluster.Transport, error) { return cluster.Dial(addrs[i]) }
 	return p
@@ -54,9 +62,10 @@ func NewDialPool(addrs []string) *Pool {
 // distributed pool.
 func NewSpawnPool(n int, cfg server.Config) *Pool {
 	p := &Pool{
-		load: make([]int, n),
-		open: make([]int, n),
-		name: func(i int) string { return fmt.Sprintf("spawn-%d", i) },
+		load:  make([]int, n),
+		open:  make([]int, n),
+		reads: make([]int, n),
+		name:  func(i int) string { return fmt.Sprintf("spawn-%d", i) },
 	}
 	p.dial = func(int) (cluster.Transport, error) { return cluster.InProcess(cfg), nil }
 	return p
@@ -74,6 +83,14 @@ func (p *Pool) Loads() []int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return append([]int(nil), p.load...)
+}
+
+// ReadLoads returns the current per-endpoint in-flight routed-read
+// counts.
+func (p *Pool) ReadLoads() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]int(nil), p.reads...)
 }
 
 // Get opens a fresh worker session on the least-loaded endpoint not in
@@ -126,7 +143,10 @@ func (p *Pool) Primaries(n int) ([]cluster.Transport, error) {
 }
 
 // pickLocked returns the least-loaded endpoint not in avoid, -1 when
-// none qualifies.
+// none qualifies. Placement load (shipped-fragment weight) dominates;
+// in-flight routed reads break ties so a fresh session lands off the
+// endpoint a Match burst is hammering, then fewer open sessions, then
+// the lower endpoint id.
 func (p *Pool) pickLocked(avoid map[int]bool) int {
 	best := -1
 	for i := range p.load {
@@ -134,7 +154,8 @@ func (p *Pool) pickLocked(avoid map[int]bool) int {
 			continue
 		}
 		if best < 0 || p.load[i] < p.load[best] ||
-			(p.load[i] == p.load[best] && p.open[i] < p.open[best]) {
+			(p.load[i] == p.load[best] && p.reads[i] < p.reads[best]) ||
+			(p.load[i] == p.load[best] && p.reads[i] == p.reads[best] && p.open[i] < p.open[best]) {
 			best = i
 		}
 	}
@@ -161,6 +182,28 @@ type pooled struct {
 
 // Endpoint implements cluster.Endpointer.
 func (t *pooled) Endpoint() int { return t.ep }
+
+// ReadStart, ReadEnd and ReadLoad implement cluster.ReadTracker: the
+// coordinator's replica-read router brackets each routed read so the
+// endpoint-wide in-flight count steers both copy selection (least-loaded
+// live copy) and later placement decisions.
+func (t *pooled) ReadStart() {
+	t.pool.mu.Lock()
+	t.pool.reads[t.ep]++
+	t.pool.mu.Unlock()
+}
+
+func (t *pooled) ReadEnd() {
+	t.pool.mu.Lock()
+	t.pool.reads[t.ep]--
+	t.pool.mu.Unlock()
+}
+
+func (t *pooled) ReadLoad() int {
+	t.pool.mu.Lock()
+	defer t.pool.mu.Unlock()
+	return t.pool.reads[t.ep]
+}
 
 func (t *pooled) Close() error {
 	t.once.Do(func() { t.pool.release(t.ep, t.weight) })

@@ -56,6 +56,21 @@ import (
 //	            affected-vs-|G| work ratio — both as a JSON document in
 //	            Profile alongside the normal response fields
 //
+// The multi-tenant cluster front end (internal/cluster.Frontend over
+// internal/tenant) additionally serves the session vocabulary — a
+// single qgpd worker does not:
+//
+//	session    — attach the connection to a named tenant session
+//	             (Session names it; empty creates a fresh
+//	             connection-scoped one). Each tenant holds a private
+//	             watch namespace over the one shared graph.
+//	sessions   — list the live tenant sessions (Response.Tenants)
+//	endsession — evict a tenant session (Session names it; empty evicts
+//	             the connection's current one), unregistering its watches
+//	deltas     — drain the tenant's pending watch deltas: changes other
+//	             tenants' updates caused in this tenant's namespace,
+//	             coalesced since the last drain
+//
 // The session graph persists across requests on the same connection.
 
 // Request is one client command.
@@ -100,6 +115,11 @@ type Request struct {
 	// watch / unwatch: the watch's name (Pattern carries the QGP for
 	// watch).
 	Watch string `json:"watch,omitempty"`
+
+	// session / endsession (multi-tenant front end): the tenant session
+	// name. Empty on session means "create a fresh connection-scoped
+	// session"; empty on endsession means "the connection's current one".
+	Session string `json:"session,omitempty"`
 
 	// fragment / assign / update: the owned focus candidates, as node ids
 	// local to the fragment subgraph carried in Data. For fragment this is
@@ -193,8 +213,18 @@ type Response struct {
 	Triples []string `json:"triples,omitempty"`
 
 	// update: per-watch answer deltas; watch: the initial answer set is
-	// returned in Matches.
+	// returned in Matches. On the multi-tenant front end an update's
+	// Deltas carry only the writing tenant's own watches; other tenants
+	// pick up theirs with the deltas command.
 	Deltas []WatchDelta `json:"deltas,omitempty"`
+
+	// session (multi-tenant front end): the session name the connection
+	// is now attached to — echoes Request.Session or reports the
+	// generated name of a fresh connection-scoped session.
+	Session string `json:"session,omitempty"`
+
+	// sessions (multi-tenant front end): the live tenant sessions.
+	Tenants []TenantInfo `json:"tenants,omitempty"`
 
 	// metrics: the registry snapshot (obs.Snapshot shape). RawMessage,
 	// not a typed struct, so the wire client needs no dependency on the
@@ -216,4 +246,18 @@ type WatchDelta struct {
 	Added    []int64 `json:"added,omitempty"`
 	Removed  []int64 `json:"removed,omitempty"`
 	Affected int     `json:"affected"` // focus candidates re-verified
+}
+
+// TenantInfo describes one live tenant session of the multi-tenant front
+// end (the sessions command). It lives in this package — not
+// internal/tenant — so wire clients need no dependency on the session
+// manager's internals.
+type TenantInfo struct {
+	Name    string `json:"name"`
+	Watches int    `json:"watches"`           // registered standing patterns
+	Writes  int64  `json:"writes"`            // update batches this tenant applied
+	Reads   int64  `json:"reads"`             // match/explain reads this tenant issued
+	Pending int    `json:"pending,omitempty"` // watches with undrained deltas
+	IdleMS  int64  `json:"idleMs"`            // since last command
+	Conns   int    `json:"conns"`             // attached connections
 }

@@ -51,6 +51,12 @@ type Config struct {
 	// IdleTimeout closes connections with no request for this long
 	// (default 5 minutes).
 	IdleTimeout time.Duration
+	// MaxWatches caps the standing patterns one session holds. 0 keeps
+	// the historical default of 16; a negative value lifts the cap —
+	// the multi-tenant cluster front end multiplexes many tenant
+	// namespaces over one worker session and enforces per-tenant quotas
+	// itself.
+	MaxWatches int
 	// Logf receives server diagnostics; nil means log.Printf.
 	Logf func(format string, args ...interface{})
 	// Metrics, when set, receives per-command counts, error counts and
@@ -645,8 +651,8 @@ func (s *Server) handleWatch(sess *session, req *Request, resp *Response) error 
 	if _, dup := sess.watches[req.Watch]; dup {
 		return fmt.Errorf("watch %q already registered", req.Watch)
 	}
-	if len(sess.watches) >= 16 {
-		return fmt.Errorf("watch: session limit of 16 standing patterns reached")
+	if max := s.watchCap(); max > 0 && len(sess.watches) >= max {
+		return fmt.Errorf("watch: session limit of %d standing patterns reached", max)
 	}
 	q, err := core.Parse(req.Pattern)
 	if err != nil {
@@ -696,6 +702,15 @@ func (s *Server) handleStats(sess *session, req *Request, resp *Response) error 
 }
 
 var errNoGraph = errors.New("no graph loaded: run gen or load first")
+
+// watchCap resolves Config.MaxWatches: 0 means the historical default
+// of 16, negative lifts the cap.
+func (s *Server) watchCap() int {
+	if s.cfg.MaxWatches == 0 {
+		return 16
+	}
+	return s.cfg.MaxWatches
+}
 
 func (s *Server) budget(req *Request) int64 {
 	switch {
