@@ -12,10 +12,12 @@
 // each fragment, fenced so a session always sees its own writes.
 // -isolate restores the legacy cluster-per-connection model.
 //
-// Distributed:
+// Distributed (workers need -max-watches -1: the shared session
+// aggregates every tenant's watches in one worker session, so the
+// worker-side per-session cap must be lifted to match the front end's):
 //
-//	qgpd -addr :7700 &
-//	qgpd -addr :7701 &
+//	qgpd -addr :7700 -max-watches -1 &
+//	qgpd -addr :7701 -max-watches -1 &
 //	qgpcluster -addr :7688 -workers localhost:7700,localhost:7701
 //
 // Single machine (embedded workers):
@@ -129,6 +131,13 @@ func main() {
 		pool = ha.NewDialPool(addrs)
 		workerCount = len(addrs)
 		log.Printf("qgpcluster: using %d TCP worker endpoints: %s", len(addrs), *workers)
+		if !*isolate {
+			// The coordinator cannot configure remote workers; a stock
+			// qgpd keeps its default 16-watch session cap, so tenants
+			// collectively hit it early (each rejection is returned to
+			// that one caller; the shared cluster stays up).
+			log.Printf("qgpcluster: shared multi-tenant session over remote workers: run each qgpd with -max-watches -1, or watch registrations are capped by the workers' per-session default")
+		}
 	} else {
 		if *spawn < 1 {
 			log.Fatalf("qgpcluster: -spawn must be at least 1")

@@ -7,6 +7,11 @@
 //
 //	qgpd [-addr :7687] [-max-concurrent 4] [-budget 50000000]
 //
+// Each session holds at most -max-watches standing patterns (default
+// 16). Workers serving a shared multi-tenant qgpcluster front end must
+// run with -max-watches -1: the front end aggregates every tenant's
+// watches in one worker session and enforces quotas per tenant itself.
+//
 // Observability: -debug-addr starts an HTTP listener with the server's
 // metrics registry (per-command counts and latency histograms), a health
 // report, retained request traces, windowed percentiles and the runtime
@@ -54,6 +59,7 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 4, "maximum concurrently executing queries")
 	budget := flag.Int64("budget", 50_000_000, "default extension budget per query (-1 disables)")
 	maxGraph := flag.Int("max-graph", 50_000_000, "maximum session graph size (|V|+|E|)")
+	maxWatches := flag.Int("max-watches", 0, "maximum standing patterns per session (0 = default 16, negative = unlimited; qgpcluster workers in shared multi-tenant mode need -1)")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "close idle connections after this long")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/traces and /debug/pprof on this HTTP address (empty: disabled)")
 	trace := flag.Bool("trace", false, "log one structured line per finished request")
@@ -80,6 +86,7 @@ func main() {
 		MaxConcurrent: *maxConcurrent,
 		DefaultBudget: *budget,
 		MaxGraphSize:  *maxGraph,
+		MaxWatches:    *maxWatches,
 		IdleTimeout:   *idle,
 		Metrics:       reg,
 		Tracer:        tracer,

@@ -72,7 +72,10 @@ type Config struct {
 	// keeps the historical per-session default of 16; a negative value
 	// lifts the cap (the multi-tenant front end enforces per-tenant
 	// quotas itself and multiplexes many namespaces over one
-	// coordinator). Workers need a matching server.Config.MaxWatches.
+	// coordinator). Workers need a matching server.Config.MaxWatches
+	// (remote qgpd workers: the -max-watches flag); a worker that still
+	// rejects a registration has the partial fan-out rolled back and the
+	// error returned to the one caller (watch.go), not fail-stopped.
 	MaxWatches int
 	// Pool supplies fresh worker sessions for replica placement and
 	// failover re-shipping. Optional when Replicas <= 1: without it, a

@@ -205,6 +205,15 @@ func (f *Frontend) Shutdown(ctx context.Context) error {
 	}
 	f.mu.Unlock()
 
+	// Stop the idle sweeper before waiting on handlers: it does not
+	// depend on them, and the deadline return below must not leak a
+	// goroutine that would keep evicting (Unwatch round trips) against a
+	// coordinator the caller is about to close. The sweeper never blocks
+	// indefinitely — an in-flight EvictIdle's fan-outs run against the
+	// still-open shared session with bounded failover retries.
+	if f.tenants != nil {
+		f.tenants.Stop()
+	}
 	done := make(chan struct{})
 	go func() {
 		f.wg.Wait()
@@ -216,9 +225,6 @@ func (f *Frontend) Shutdown(ctx context.Context) error {
 		// A handler may still hold smu; skip the shared teardown rather
 		// than block past the caller's deadline.
 		return ctx.Err()
-	}
-	if f.tenants != nil {
-		f.tenants.Stop()
 	}
 	// All handlers have returned, so smu is free.
 	f.smu.Lock()

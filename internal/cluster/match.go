@@ -84,8 +84,12 @@ func (c *Coordinator) matchWith(q *core.Pattern, opts *MatchOptions, prof *Match
 	tr := c.cfg.Tracer.Start("match")
 	defer func() { tr.Finish(err) }()
 
+	// The failed first attempt returns a nil profile; keep the caller's
+	// prof pointer so the write-locked retry still profiles (matchLocked
+	// re-initializes it from scratch).
+	var out *MatchProfile
 	c.mu.RLock()
-	res, prof, err = c.matchLocked(q, opts, prof, tr, start, true)
+	res, out, err = c.matchLocked(q, opts, prof, tr, start, true)
 	c.mu.RUnlock()
 	if errors.Is(err, errReadFailover) {
 		// A fragment lost every live copy mid-read: take the write lock,
@@ -95,10 +99,10 @@ func (c *Coordinator) matchWith(q *core.Pattern, opts *MatchOptions, prof *Match
 		c.om.readFellBack()
 		c.mu.Lock()
 		c.pruneSuspectsLocked()
-		res, prof, err = c.matchLocked(q, opts, prof, tr, start, false)
+		res, out, err = c.matchLocked(q, opts, prof, tr, start, false)
 		c.mu.Unlock()
 	}
-	return res, prof, err
+	return res, out, err
 }
 
 // matchLocked runs the fan-out and merge under whichever side of c.mu

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -155,6 +156,44 @@ func TestMinVersionRestrictsReplicas(t *testing.T) {
 				t.Fatalf("fragment %d: stale replica served a fenced read", i)
 			}
 		}
+	}
+}
+
+// TestReadFailoverKeepsProfile: a profiled match that trips read
+// failover still returns a profile document. Regression: the failed
+// first attempt returns (nil, nil, err), and matchWith used to let that
+// nil overwrite the profile pointer, so the write-locked retry ran an
+// unprofiled match and handleProfile serialized Profile as JSON null.
+func TestReadFailoverKeepsProfile(t *testing.T) {
+	g := gen.Social(gen.DefaultSocial(200, 13))
+	pool := newTestPool(6)
+	c, err := New(g, InProcessN(2, server.Config{}), Config{D: 2, Replicas: 2, Pool: pool,
+		Metrics: obs.NewRegistry(), Logf: func(string, ...interface{}) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	q := mustParse(t, testPatterns[0])
+
+	c.workers[0].primary.t.Close()
+	for _, r := range c.workers[0].replicas {
+		r.t.Close()
+	}
+	res, prof, err := c.ProfileMatch(q, nil)
+	if err != nil {
+		t.Fatalf("profiled match after killing every copy of fragment 0: %v", err)
+	}
+	if c.om.readFallbacks.Value() == 0 {
+		t.Fatal("profiled match did not trip the read-failover retry; the test exercised nothing")
+	}
+	if prof == nil {
+		t.Fatal("profile document lost across the read-failover retry")
+	}
+	if prof.Workers != 2 || len(prof.Fragments) != 2 {
+		t.Fatalf("profile covers %d workers / %d fragments, want 2/2", prof.Workers, len(prof.Fragments))
+	}
+	if prof.Matches != len(res.Matches) {
+		t.Fatalf("profile reports %d matches, result has %d", prof.Matches, len(res.Matches))
 	}
 }
 

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/parallel"
@@ -40,11 +42,13 @@ func (c *Coordinator) Watch(name string, q *core.Pattern) (initial []graph.NodeI
 	if _, dup := c.watches[name]; dup {
 		return nil, fmt.Errorf("cluster: watch %q already registered", name)
 	}
-	// Mirror the workers' per-session cap (server.go) before fanning out:
-	// hitting it on the workers would look like a partial failure and
-	// needlessly fail-stop the cluster. The multi-tenant front end lifts
-	// both caps (MaxWatches < 0, server.Config.MaxWatches < 0) and
-	// enforces per-tenant quotas itself.
+	// Mirror the workers' per-session cap (server.go) before fanning out
+	// so the common overflow is caught without paying a round trip. The
+	// multi-tenant front end lifts both caps (MaxWatches < 0,
+	// server.Config.MaxWatches < 0 — remote qgpd workers need
+	// -max-watches -1) and enforces per-tenant quotas itself; a worker
+	// that still rejects (a misconfigured or stock remote worker keeping
+	// its own cap) is handled below by rolling the fan-out back.
 	max := c.cfg.MaxWatches
 	if max == 0 {
 		max = 16
@@ -68,8 +72,23 @@ func (c *Coordinator) Watch(name string, q *core.Pattern) (initial []graph.NodeI
 	})
 	if err != nil {
 		// Some workers may now hold the watch while others don't; deltas
-		// from the orphans would leak into later updates. Fail-stop, as
-		// Update does.
+		// from the orphans would leak into later updates. A protocol
+		// rejection (the worker answered, e.g. a remote qgpd enforcing
+		// its own per-session watch cap, which the coordinator cannot
+		// see) left every contacted worker alive and changed no graph
+		// state, so the orphans are rolled back and the error stays
+		// scoped to this one caller instead of fail-stopping the shared
+		// cluster for every tenant. A transport failure (worker died
+		// mid-registration and failover could not replace it) fail-stops,
+		// as Update does, and so does a failed rollback.
+		var se *client.ServerError
+		if errors.As(err, &se) {
+			if rberr := c.rollbackWatchLocked(name, responses); rberr != nil {
+				c.failed = fmt.Errorf("watch %q: %v; rollback: %w", name, err, rberr)
+				return nil, c.failed
+			}
+			return nil, err
+		}
 		c.failed = err
 		return nil, err
 	}
@@ -94,6 +113,30 @@ func (c *Coordinator) Watch(name string, q *core.Pattern) (initial []graph.NodeI
 		c.om.watchCount.Inc()
 	}
 	return sortedSet(merged), nil
+}
+
+// rollbackWatchLocked removes a partially registered watch from the
+// workers that accepted it (those with a non-nil response in the Watch
+// fan-out). Workers that rejected or died never hold the watch: a
+// protocol error means the server refused the registration, and a
+// transport failure replaced the primary with a copy enlisted from
+// c.watches, which does not yet contain name. A protocol error from the
+// rollback unwatch itself is benign — the server only refuses unwatch
+// for a name it does not hold (a failover mid-rollback promoted a copy
+// without the orphan), so no orphan remains either way. Callers hold
+// c.mu.
+func (c *Coordinator) rollbackWatchLocked(name string, responses []*server.Response) error {
+	return c.fanOut(func(w *worker) error {
+		if responses[w.id] == nil {
+			return nil
+		}
+		_, err := c.sendPrimary(w, "unwatch", &server.Request{Cmd: "unwatch", Watch: name}, c.g)
+		var se *client.ServerError
+		if errors.As(err, &se) {
+			return nil
+		}
+		return err
+	})
 }
 
 // Unwatch removes a standing pattern from every worker.

@@ -253,7 +253,10 @@ func (m *Manager) Release(name string, evict bool) {
 	last := st.refs == 0
 	m.mu.Unlock()
 	if evict && last {
-		m.Evict(name)
+		// Conditionally: a concurrent Attach in this unlocked window
+		// re-acquires the session and must not have it torn down
+		// underneath.
+		m.evict(name, true)
 	}
 }
 
@@ -509,12 +512,23 @@ func (m *Manager) List() []server.TenantInfo {
 // Evict removes the session, unregistering its watches from the shared
 // coordinator. Idempotent; the registrar round trips happen outside the
 // Manager mutex.
-func (m *Manager) Evict(name string) {
+func (m *Manager) Evict(name string) { m.evict(name, false) }
+
+// evict implements Evict, reporting whether the session was removed.
+// The unattachedOnly paths (last-ref Release, the idle sweeper) decide
+// to evict outside the lock, so they re-check refs here: a concurrent
+// Attach that won the lock in between keeps its freshly acquired
+// session.
+func (m *Manager) evict(name string, unattachedOnly bool) bool {
 	m.mu.Lock()
 	st, ok := m.tenants[name]
 	if !ok {
 		m.mu.Unlock()
-		return
+		return false
+	}
+	if unattachedOnly && st.refs > 0 {
+		m.mu.Unlock()
+		return false
 	}
 	st.gone = true
 	delete(m.tenants, name)
@@ -538,6 +552,7 @@ func (m *Manager) Evict(name string) {
 			m.logf("tenant: evict %s: unwatch %s: %v", name, w, err)
 		}
 	}
+	return true
 }
 
 // EvictIdle evicts named sessions with no attached connection that have
@@ -557,12 +572,17 @@ func (m *Manager) EvictIdle() []string {
 	}
 	m.mu.Unlock()
 	sort.Strings(idle)
+	evicted := idle[:0]
 	for _, name := range idle {
-		m.logf("tenant: session %s idle past %v, evicting", name, timeout)
+		// Conditionally: a client may have attached since the scan above.
+		if !m.evict(name, true) {
+			continue
+		}
+		m.logf("tenant: session %s idle past %v, evicted", name, timeout)
 		m.mExpired.Inc()
-		m.Evict(name)
+		evicted = append(evicted, name)
 	}
-	return idle
+	return evicted
 }
 
 // Start launches the idle sweeper. Stop with Stop.

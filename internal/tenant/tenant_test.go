@@ -275,6 +275,45 @@ func TestEphemeralReleaseEvicts(t *testing.T) {
 	}
 }
 
+// TestEvictSparesReattachedSession: the last-ref Release and the idle
+// sweeper decide to evict outside the manager lock; a concurrent Attach
+// to the same name that wins the lock in that window must keep its
+// freshly acquired session. The interleaving is simulated directly:
+// refs drops to zero (the releasing connection's decrement), a second
+// connection attaches, then the deferred conditional eviction runs.
+func TestEvictSparesReattachedSession(t *testing.T) {
+	reg := &fakeRegistrar{}
+	m := NewManager(Config{}, reg)
+	name, err := m.Attach("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Watch(name, "w", testPattern(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	m.mu.Lock()
+	m.tenants[name].refs = 0 // conn1's Release decremented the last ref
+	m.mu.Unlock()
+	if _, err := m.Attach(name); err != nil { // conn2 wins the lock
+		t.Fatal(err)
+	}
+	if m.evict(name, true) { // conn1's deferred eviction stands down
+		t.Fatal("conditional eviction removed a re-attached session")
+	}
+	if got := m.Watches(name); !reflect.DeepEqual(got, []string{"w"}) {
+		t.Fatalf("re-attached session lost its watches: %v", got)
+	}
+	if len(reg.unwatched) != 0 {
+		t.Fatalf("eviction unregistered %v despite the re-attach", reg.unwatched)
+	}
+	// The explicit Evict (endsession) is unconditional, as before.
+	m.Evict(name)
+	if got := m.Watches(name); got != nil {
+		t.Fatalf("explicit Evict left the session: %v", got)
+	}
+}
+
 func TestIdleEviction(t *testing.T) {
 	now := time.Unix(1000, 0)
 	clock := func() time.Time { return now }
