@@ -11,9 +11,19 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/tenant"
 )
+
+// noopRegistrar satisfies tenant.Registrar for a benchmark manager that
+// registers no watches.
+type noopRegistrar struct{}
+
+func (noopRegistrar) Watch(string, *core.Pattern) ([]graph.NodeID, error) { return nil, nil }
+func (noopRegistrar) Unwatch(string) error                                { return nil }
 
 // BenchmarkClusterMatch compares embedded coordinator/worker clusters of
 // 1, 2 and 4 workers against single-process match on a generated social
@@ -123,6 +133,64 @@ func BenchmarkClusterMatch(b *testing.B) {
 	if r1, ok := record[fmt.Sprintf("concurrent_t%d_r1_ns_per_op", tenants)].(int64); ok {
 		if r3, ok := record[fmt.Sprintf("concurrent_t%d_r3_ns_per_op", tenants)].(int64); ok && r3 > 0 {
 			record["read_scaleout_r3_vs_r1"] = float64(r1) / float64(r3)
+		}
+	}
+
+	// Admission-control overhead: the k=3 workload again, with every op
+	// paying the front end's per-tenant QoS work — Admit (token bucket),
+	// fence lookup, latency Observe into the tenant's histogram — against
+	// limits high enough that nothing throttles. The recorded
+	// limiter_overhead ratio (limited vs unlimited r3) tracks that
+	// admission control stays in the noise (the bar is ≤5%) next to an
+	// 8ms wire round trip.
+	b.Run(fmt.Sprintf("tenants=%d/replicas=3/limited", tenants), func(b *testing.B) {
+		prim := make([]cluster.Transport, 2)
+		for i := range prim {
+			prim[i] = &latencyTransport{inner: cluster.InProcess(server.Config{}), d: rtt}
+		}
+		pool := &latencyPool{cfg: server.Config{}, d: rtt, next: len(prim)}
+		c, err := cluster.New(cg, prim, cluster.Config{D: 2, Replicas: 3, Pool: pool})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		res, err := c.Update([]server.UpdateSpec{{Op: "addEdge", From: 1, To: 2, Label: "follow"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tm := tenant.NewManager(tenant.Config{
+			RateQPS: 1e9, RateBurst: 1 << 30,
+			AffectedPerSec: 1e9, AffectedBurst: 1 << 30,
+			Metrics: obs.NewRegistry(),
+		}, noopRegistrar{})
+		b.SetParallelism(tenants)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			name, err := tm.Attach("")
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			tm.NoteWrite(name, res.Version)
+			for pb.Next() {
+				if err := tm.Admit(name, "match"); err != nil {
+					b.Error(err)
+					return
+				}
+				opts := &cluster.MatchOptions{MinVersion: tm.NoteRead(name)}
+				start := time.Now()
+				if _, err := c.MatchWith(cq, opts); err != nil {
+					b.Error(err)
+					return
+				}
+				tm.Observe(name, "match", start)
+			}
+		})
+		record[fmt.Sprintf("concurrent_t%d_r3_limited_ns_per_op", tenants)] = avgNs(b)
+	})
+	if r3, ok := record[fmt.Sprintf("concurrent_t%d_r3_ns_per_op", tenants)].(int64); ok && r3 > 0 {
+		if lim, ok := record[fmt.Sprintf("concurrent_t%d_r3_limited_ns_per_op", tenants)].(int64); ok {
+			record["limiter_overhead"] = float64(lim) / float64(r3)
 		}
 	}
 

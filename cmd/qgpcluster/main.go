@@ -87,6 +87,11 @@ func main() {
 	replicas := flag.Int("replicas", 1, "copies of each fragment (k); k-1 warm replicas back every primary and serve routed reads")
 	maxTenants := flag.Int("max-tenants", 1024, "maximum live tenant sessions (negative = unlimited)")
 	tenantIdle := flag.Duration("tenant-idle", 15*time.Minute, "evict named tenant sessions with no connection after this long idle (negative = never)")
+	tenantQPS := flag.Float64("tenant-qps", 0, "per-tenant admitted commands per second — match, update, watch (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant command bucket size (0 = 2x -tenant-qps, at least 1)")
+	tenantAffected := flag.Float64("tenant-affected", 0, "per-tenant update budget in affected-set units per second, post-paid against each batch's real re-verification size (0 = unlimited)")
+	tenantAffectedBurst := flag.Int("tenant-affected-burst", 0, "per-tenant affected-set budget bucket size (0 = 4x -tenant-affected, at least 1)")
+	tenantInbox := flag.Int("tenant-inbox", 0, "per-watch cap on a tenant's undrained coalesced delta ids; overflow drops the state and marks the watch resync (0 = 4096, negative = unlimited)")
 	isolate := flag.Bool("isolate", false, "legacy mode: a private cluster per connection instead of the shared multi-tenant session (incompatible with -journal)")
 	journalDir := flag.String("journal", "", "directory for the snapshot+journal; existing state is recovered at startup and the front end serves one durable session shared by all connections")
 	fsync := flag.Bool("fsync", false, "fsync every journaled update batch before fanning it out")
@@ -166,10 +171,15 @@ func main() {
 		NewWorkers: newWorkers,
 		Isolate:    *isolate,
 		Tenancy: tenant.Config{
-			MaxTenants:  *maxTenants,
-			IdleTimeout: *tenantIdle,
-			Logf:        log.Printf,
-			Metrics:     reg,
+			MaxTenants:     *maxTenants,
+			IdleTimeout:    *tenantIdle,
+			RateQPS:        *tenantQPS,
+			RateBurst:      *tenantBurst,
+			AffectedPerSec: *tenantAffected,
+			AffectedBurst:  *tenantAffectedBurst,
+			MaxPendingIDs:  *tenantInbox,
+			Logf:           log.Printf,
+			Metrics:        reg,
 		},
 		MaxGraphSize: *maxGraph,
 		IdleTimeout:  *idle,
@@ -233,6 +243,14 @@ func main() {
 		health := func() (interface{}, error) {
 			doc, err := fe.Health()
 			out := map[string]interface{}{"cluster": doc}
+			// Per-tenant rows (watches, pending inbox sizes, throttle and
+			// overflow counts) next to the topology, so one curl answers
+			// "who is being limited and who is not draining".
+			if tm := fe.Tenants(); tm != nil {
+				if rows := tm.List(); len(rows) > 0 {
+					out["tenants"] = rows
+				}
+			}
 			mmu.Lock()
 			stats := make([]ha.MonitorStats, 0, len(monitors))
 			for m := range monitors {

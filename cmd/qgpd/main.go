@@ -11,6 +11,10 @@
 // 16). Workers serving a shared multi-tenant qgpcluster front end must
 // run with -max-watches -1: the front end aggregates every tenant's
 // watches in one worker session and enforces quotas per tenant itself.
+// A session holding a fragment answers the stats command restricted to
+// its owned nodes (structured triple rows), so a cluster front end can
+// sum per-worker summaries into the exact global answer and route the
+// command to replicas like any other read.
 //
 // Observability: -debug-addr starts an HTTP listener with the server's
 // metrics registry (per-command counts and latency histograms), a health

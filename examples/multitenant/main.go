@@ -6,11 +6,18 @@
 // command, and Alice's next match is fenced at her write's version token
 // so replica routing can never serve her pre-update state.
 //
+// The epilogue walks the QoS layer: Carol's oversized update batch
+// exhausts her post-paid affected-set budget and her next write is
+// refused with a retry-after, while Mallory — who watches but never
+// drains — overflows her bounded delta inbox and is told to resync
+// rather than being handed an incomplete delta stream.
+//
 // Run with: go run ./examples/multitenant
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -32,8 +39,19 @@ func main() {
 	fe := cluster.NewFrontend(cluster.FrontendConfig{
 		Cluster:    cluster.Config{D: 2, Replicas: 2, Pool: pool},
 		NewWorkers: func() ([]cluster.Transport, error) { return pool.Primaries(2) },
-		Tenancy:    tenant.Config{MaxTenants: 64, IdleTimeout: time.Minute},
-		Logf:       func(string, ...interface{}) {},
+		Tenancy: tenant.Config{
+			MaxTenants:  64,
+			IdleTimeout: time.Minute,
+			// QoS knobs (qgpcluster: -tenant-affected, -tenant-inbox): a
+			// tiny post-paid update budget — one real batch drives a
+			// tenant's balance negative and its next update is refused
+			// with a retry-after — and a 2-id cap on each watch's
+			// undrained delta inbox, overflowing to a resync marker.
+			AffectedPerSec: 5,
+			AffectedBurst:  5,
+			MaxPendingIDs:  2,
+		},
+		Logf: func(string, ...interface{}) {},
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -149,4 +167,66 @@ func main() {
 		log.Fatalf("session list after bob left: %+v", infos)
 	}
 	fmt.Println("bob ended his session; alice's watch survives: two tenants, one fragmentation")
+
+	// --- Per-tenant QoS: update budgets, throttling, bounded inboxes ---
+
+	// Mallory watches but never drains her deltas.
+	mallory := dial("mallory")
+	defer mallory.Close()
+	if _, err := mallory.Watch("hot", pattern); err != nil {
+		log.Fatal(err)
+	}
+	if len(post.Matches) < 3 {
+		log.Fatalf("only %d answers left; pick another seed", len(post.Matches))
+	}
+
+	// Carol removes three answers in one admitted batch. Updates are
+	// billed post-paid in affected-set units — the re-verification region
+	// the batch actually cost the shared cluster — so this one batch
+	// drives her budget far below zero.
+	carol := dial("carol")
+	defer carol.Close()
+	if _, _, err := carol.Update(
+		server.UpdateSpec{Op: "removeNode", From: post.Matches[0]},
+		server.UpdateSpec{Op: "removeNode", From: post.Matches[1]},
+		server.UpdateSpec{Op: "removeNode", From: post.Matches[2]},
+	); err != nil {
+		log.Fatal(err)
+	}
+	// Her next update is refused with a typed retry-after on the wire;
+	// everyone's reads (and drains) keep flowing.
+	_, _, err = carol.Update(server.UpdateSpec{Op: "addEdge", From: 1, To: 2, Label: "follow"})
+	var se *client.ServerError
+	if !errors.As(err, &se) || se.RetryAfterMS <= 0 {
+		log.Fatalf("expected a throttled update with a retry-after, got %v", err)
+	}
+	fmt.Printf("carol's second update throttled (retry in %.0fms): her first batch's affected-set cost exhausted her budget\n", se.RetryAfterMS)
+
+	// Mallory never drained: three coalesced ids overflowed her 2-id
+	// inbox cap, the stale state was dropped, and her drain now carries a
+	// resync marker — re-read the answer set, the delta stream has a hole.
+	md, err := mallory.Deltas()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(md) != 1 || md[0].Watch != "hot" || !md[0].Resync {
+		log.Fatalf("mallory's drain after overflow: %+v, want a resync marker", md)
+	}
+	fmt.Println("mallory's undrained inbox overflowed its cap; her drain says resync instead of an incomplete delta")
+	resynced, err := mallory.Match(pattern, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mallory resynced by re-matching: %d answers\n", resynced.Total)
+
+	// Throttle and overflow counts ride the session list (and the debug
+	// endpoint's tenants rows, and the tenant.<name>.* metric series).
+	infos, err = alice.Sessions()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, in := range infos {
+		fmt.Printf("  session %-8s watches=%d throttled=%d overflows=%d pendingIds=%d\n",
+			in.Name, in.Watches, in.Throttled, in.Overflows, in.PendingIDs)
+	}
 }

@@ -79,14 +79,19 @@ func (c *Client) Do(req *server.Request) (*server.Response, error) {
 		return nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
 	}
 	if !resp.OK {
-		return &resp, &ServerError{Msg: resp.Error}
+		return &resp, &ServerError{Msg: resp.Error, RetryAfterMS: resp.RetryAfterMS}
 	}
 	return &resp, nil
 }
 
 // ServerError is a command-level failure reported by the server; the
-// connection remains usable.
-type ServerError struct{ Msg string }
+// connection remains usable. RetryAfterMS is non-zero when the
+// multi-tenant front end throttled the command (per-tenant rate limit
+// or update budget): back off that many milliseconds before retrying.
+type ServerError struct {
+	Msg          string
+	RetryAfterMS float64
+}
 
 func (e *ServerError) Error() string { return "server: " + e.Msg }
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/partition"
 	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/tenant"
@@ -339,9 +340,52 @@ func (f *Frontend) handle(cs *connState, req *server.Request) server.Response {
 	}
 	if err != nil {
 		resp.Error = err.Error()
+		var thr *tenant.ErrThrottled
+		if errors.As(err, &thr) {
+			// Typed retry-after on the wire: a throttled client backs off
+			// this long instead of guessing (or hammering).
+			resp.RetryAfterMS = float64(thr.RetryAfter.Microseconds()) / 1000
+		}
+	} else if cs.tenant != "" && f.tenants != nil {
+		// Per-tenant latency: served commands land in the tenant's
+		// match.ms/update.ms histograms (windowed p95 via obs.Windows).
+		// Errors and rejections stay out — a throttle refusal costing
+		// microseconds would mask the tenant's real service latency.
+		if op := observeClass(req); op != "" {
+			f.tenants.Observe(cs.tenant, op, start)
+		}
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	return resp
+}
+
+// admissionClass maps a wire command to its admission-control class:
+// "update" for writes, "match" for routed reads, "" for free commands.
+// Drains are deliberately free — refusing deltas would keep a throttled
+// tenant's inbox full, the opposite of what the bounded-inbox design
+// wants — as are the session and observability commands.
+func admissionClass(req *server.Request) string {
+	switch req.Cmd {
+	case "update":
+		return "update"
+	case "match", "explain":
+		return "match"
+	case "profile":
+		if len(req.Updates) > 0 {
+			return "update"
+		}
+		return "match"
+	}
+	return ""
+}
+
+// observeClass is admissionClass plus watch registrations, whose
+// initial-answer evaluation is read work.
+func observeClass(req *server.Request) string {
+	if req.Cmd == "watch" {
+		return "match"
+	}
+	return admissionClass(req)
 }
 
 // handleIsolated dispatches against the connection's private cluster
@@ -408,6 +452,9 @@ func (f *Frontend) handleShared(cs *connState, req *server.Request, resp *server
 		if err := f.ensureTenant(cs); err != nil {
 			return err
 		}
+		if err := f.tenants.Admit(cs.tenant, "watch"); err != nil {
+			return err
+		}
 		q, err := core.Parse(req.Pattern)
 		if err != nil {
 			return err
@@ -431,6 +478,17 @@ func (f *Frontend) handleShared(cs *connState, req *server.Request, resp *server
 	sess, coord, err := f.sharedSession()
 	if err != nil {
 		return err
+	}
+	// Admission control for the commands that cost the shared cluster
+	// work. Attaching first means even a session-less client's first
+	// match is accounted to (and limited by) its ephemeral tenant.
+	if op := admissionClass(req); op != "" {
+		if err := f.ensureTenant(cs); err != nil {
+			return err
+		}
+		if err := f.tenants.Admit(cs.tenant, op); err != nil {
+			return err
+		}
 	}
 	return f.dispatch(sess, coord, cs, req, resp)
 }
@@ -458,7 +516,7 @@ func (f *Frontend) dispatch(sess *feSession, coord *Coordinator, cs *connState, 
 	case "unwatch":
 		return coord.Unwatch(req.Watch)
 	case "stats":
-		return f.handleStats(sess, coord, req, resp)
+		return f.handleStats(sess, coord, cs, req, resp)
 	case "partition":
 		return f.handlePartition(coord, resp)
 	case "explain":
@@ -797,6 +855,10 @@ func (f *Frontend) finishWrite(cs *connState, res *UpdateResult, resp *server.Re
 	}
 	resp.Deltas = f.tenants.RecordDeltas(cs.tenant, res.Deltas)
 	f.tenants.NoteWrite(cs.tenant, res.Version)
+	// Post-paid budget accounting: the batch's real cost — the size of
+	// the re-verification region the coordinator computed — is debited
+	// now that it is known. See tenant.Config.AffectedPerSec.
+	f.tenants.ChargeAffected(cs.tenant, res.AffectedSize)
 	resp.Session = cs.tenant
 }
 
@@ -865,35 +927,42 @@ func fillProfile(resp *server.Response, doc interface{}) error {
 	return nil
 }
 
-func (f *Frontend) handleStats(sess *feSession, coord *Coordinator, req *server.Request, resp *server.Response) error {
-	g := coord.Graph()
-	st := sess.cachedStats(g)
-	resp.Nodes, resp.Edges = st.Nodes, st.Edges
-	resp.Labels = len(st.LabelCount)
-	k := req.TopK
-	if k <= 0 {
-		k = 10
+// handleStats serves statistics. Shared mode fans out to the fragment
+// copies through the replica-read router (Coordinator.Stats) — the
+// front end no longer clones the authoritative graph, so a stats burst
+// neither pins the front-end process nor blocks behind writers.
+// Isolate mode keeps the private cluster's frontend-side collection.
+// Both shapes render through server.FillStatsRows, so the TopK cap and
+// output format are one code path.
+func (f *Frontend) handleStats(sess *feSession, coord *Coordinator, cs *connState, req *server.Request, resp *server.Response) error {
+	if cs == nil {
+		g := coord.Graph()
+		server.FillStats(resp, g, sess.cachedStats(g), req.TopK)
+		return nil
 	}
-	for _, t := range st.TopTriples(k) {
-		resp.Triples = append(resp.Triples, st.Describe(g, t))
+	var minV uint64
+	if cs.tenant != "" && f.tenants != nil {
+		// Fenced like a match: a tenant's stats reflect its own writes
+		// even when served from a replica.
+		minV = f.tenants.Fence(cs.tenant)
 	}
+	cst, err := coord.Stats(minV)
+	if err != nil {
+		return err
+	}
+	server.FillStatsRows(resp, cst.Nodes, cst.Edges, cst.Labels, cst.Rows, req.TopK)
 	return nil
 }
 
+// handlePartition reports the live fragmentation. Pure coordinator
+// bookkeeping under its read lock — no worker round trips, so nothing
+// to route.
 func (f *Frontend) handlePartition(coord *Coordinator, resp *server.Response) error {
 	sizes := coord.FragmentSizes()
-	min, max := -1, 0
-	for _, s := range sizes {
-		resp.Fragments = append(resp.Fragments, s)
-		if s > max {
-			max = s
-		}
-		if min < 0 || s < min {
-			min = s
-		}
-	}
-	if max > 0 {
-		resp.Skew = float64(min) / float64(max)
-	}
+	resp.Fragments = sizes
+	// Skew over non-empty fragments only (partition.SkewOf, shared with
+	// the partition command): an empty fragment means the graph populated
+	// fewer workers, not that a balanced partition is maximally skewed.
+	resp.Skew = partition.SkewOf(sizes)
 	return nil
 }

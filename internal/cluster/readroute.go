@@ -1,7 +1,9 @@
 package cluster
 
-// Replica-read routing: Match, Explain and ProfileMatch do not change
-// fragment state, so they need not pin the primary the way updates do.
+// Replica-read routing: Match, Explain, ProfileMatch and Stats do not
+// change fragment state, so they need not pin the primary the way
+// updates do. (Partition needs no routing at all — it reports
+// coordinator bookkeeping without worker round trips.)
 // Each fragment's request is routed to the least-loaded live copy —
 // primary or warm replica — which lets k copies serve k overlapping read
 // streams (one wire session per copy, each serialized by its transport)

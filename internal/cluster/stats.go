@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// Distributed statistics. The front end used to serve stats by cloning
+// the authoritative graph and collecting over the clone — O(|G|) on the
+// front-end process, pinned there no matter how many replicas the
+// cluster had. Stats is instead fanned out like Match: each fragment
+// copy answers the stats wire command with its OWNED-restricted summary
+// (structured TripleRows; see stats.CollectOwned for why per-worker
+// sums are exact), routed to the least-loaded live copy under the read
+// lock, and the coordinator merges by summing per class. The last
+// read-only command that pinned the primary/front end now scales with
+// the replication factor like every other read.
+
+// ClusterStats is the merged cluster-wide summary: exact — equal to
+// collecting over the whole graph in one process — because ownership
+// partitions the nodes and each owned node's full neighborhood is
+// materialized in its owner's fragment.
+type ClusterStats struct {
+	Nodes  int
+	Edges  int
+	Labels []string           // distinct node label names present, sorted
+	Rows   []server.TripleRow // summed triple classes, unordered
+}
+
+// Stats fans the stats command out across fragment copies and merges
+// the owned-restricted summaries. minV is the read-your-writes fence
+// (0 accepts any live copy), exactly as for Match.
+func (c *Coordinator) Stats(minV uint64) (res *ClusterStats, err error) {
+	tr := c.cfg.Tracer.Start("stats")
+	defer func() { tr.Finish(err) }()
+	c.mu.RLock()
+	res, err = c.statsLocked(tr, minV, true)
+	c.mu.RUnlock()
+	if errors.Is(err, errReadFailover) {
+		c.om.readFellBack()
+		c.mu.Lock()
+		c.pruneSuspectsLocked()
+		res, err = c.statsLocked(tr, minV, false)
+		c.mu.Unlock()
+	}
+	return res, err
+}
+
+func (c *Coordinator) statsLocked(tr *obs.Trace, minV uint64, readPath bool) (*ClusterStats, error) {
+	if err := c.refuseLocked(); err != nil {
+		return nil, err
+	}
+	responses := make([]*server.Response, len(c.workers))
+	err := c.fanOut(func(w *worker) error {
+		t0 := time.Now()
+		// TopK 1 keeps the workers' rendered-string work minimal; the
+		// merge consumes only the complete structured rows.
+		req := &server.Request{Cmd: "stats", TopK: 1}
+		var resp *server.Response
+		var err error
+		if readPath {
+			resp, err = c.sendRead(w, "stats", req, minV)
+		} else {
+			resp, err = c.sendPrimary(w, "stats", req, c.g)
+		}
+		if err != nil {
+			return err
+		}
+		tr.Span(w.id, "rtt", t0)
+		responses[w.id] = resp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ClusterStats{}
+	rowIx := make(map[[3]string]int)
+	labels := make(map[string]bool)
+	for _, resp := range responses {
+		out.Nodes += resp.Nodes
+		out.Edges += resp.Edges
+		for _, l := range resp.LabelNames {
+			labels[l] = true
+		}
+		for _, r := range resp.TripleRows {
+			key := [3]string{r.Src, r.Edge, r.Dst}
+			if i, ok := rowIx[key]; ok {
+				out.Rows[i].Count += r.Count
+				out.Rows[i].Srcs += r.Srcs
+				out.Rows[i].Dsts += r.Dsts
+			} else {
+				rowIx[key] = len(out.Rows)
+				out.Rows = append(out.Rows, r)
+			}
+		}
+	}
+	out.Labels = make([]string, 0, len(labels))
+	for l := range labels {
+		out.Labels = append(out.Labels, l)
+	}
+	sort.Strings(out.Labels)
+	return out, nil
+}

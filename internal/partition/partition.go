@@ -197,19 +197,34 @@ func (p *Partition) OwnedCounts() []int {
 	return counts
 }
 
-// Skew returns min fragment size / max fragment size in (0, 1]; the paper
-// reports ≥ 0.8 at n = 8. Empty fragments yield 0.
+// Skew returns min/max fragment size over the NON-EMPTY fragments, in
+// (0, 1]; the paper reports ≥ 0.8 at n = 8. Empty fragments are
+// excluded: they carry no load, so a partition whose populated
+// fragments are perfectly balanced used to report 0 — "maximally
+// skewed" — just because the graph was smaller than the worker count.
+// All fragments empty yields 0.
 func (p *Partition) Skew() float64 {
-	if len(p.Fragments) == 0 {
-		return 0
+	sizes := make([]int, len(p.Fragments))
+	for i, f := range p.Fragments {
+		sizes[i] = f.Size
 	}
+	return SkewOf(sizes)
+}
+
+// SkewOf is Skew over a plain size slice — shared with the cluster
+// front end, which reports the skew of live fragment sizes without
+// holding a Partition.
+func SkewOf(sizes []int) float64 {
 	min, max := -1, 0
-	for _, f := range p.Fragments {
-		if f.Size > max {
-			max = f.Size
+	for _, s := range sizes {
+		if s == 0 {
+			continue
 		}
-		if min < 0 || f.Size < min {
-			min = f.Size
+		if s > max {
+			max = s
+		}
+		if min < 0 || s < min {
+			min = s
 		}
 	}
 	if max == 0 {

@@ -195,3 +195,21 @@ func TestSkewAndWork(t *testing.T) {
 		t.Errorf("MaxWork grew with more workers: n=4 %d, n=8 %d", p.MaxWork(), p8.MaxWork())
 	}
 }
+
+func TestSkewOfIgnoresEmptyFragments(t *testing.T) {
+	cases := []struct {
+		sizes []int
+		want  float64
+	}{
+		{nil, 0},
+		{[]int{0, 0, 0}, 0},           // all empty: no load, no skew
+		{[]int{5, 5, 0}, 1},           // an unpopulated worker is not imbalance
+		{[]int{4, 8}, 0.5},            // real imbalance still shows
+		{[]int{0, 3, 0, 12, 6}, 0.25}, // empties dropped, min/max over the rest
+	}
+	for _, c := range cases {
+		if got := SkewOf(c.sizes); got != c.want {
+			t.Errorf("SkewOf(%v) = %v, want %v", c.sizes, got, c.want)
+		}
+	}
+}

@@ -69,7 +69,14 @@ import (
 //	             the connection's current one), unregistering its watches
 //	deltas     — drain the tenant's pending watch deltas: changes other
 //	             tenants' updates caused in this tenant's namespace,
-//	             coalesced since the last drain
+//	             coalesced since the last drain. A delta with Resync set
+//	             means the coalesced state was dropped (inbox overflow,
+//	             or an update raced the watch's registration): re-read
+//	             the answer set instead of applying deltas.
+//
+// The front end may refuse a command under per-tenant admission control
+// (rate limits, update budgets): the error response then carries
+// Response.RetryAfterMS, the backoff after which capacity returns.
 //
 // The session graph persists across requests on the same connection.
 
@@ -179,6 +186,10 @@ type Response struct {
 	ID    int64  `json:"id"`
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// RetryAfterMS accompanies an admission-control error from the
+	// multi-tenant front end: how long (milliseconds) until the tenant's
+	// exhausted rate or update budget refills. Zero on every other error.
+	RetryAfterMS float64 `json:"retryAfterMs,omitempty"`
 
 	// ping: Pong is always set; a session holding a cluster fragment
 	// additionally reports Fragment with its owned-candidate count (and
@@ -211,6 +222,14 @@ type Response struct {
 	// stats
 	Labels  int      `json:"labels,omitempty"`
 	Triples []string `json:"triples,omitempty"`
+	// TripleRows carries every triple class in structured, name-based
+	// form (not capped by TopK the way the rendered Triples are). A
+	// cluster coordinator sums per-fragment rows by class — worker
+	// sessions report owned-restricted stats, and ownership partitions
+	// the nodes, so the sums are exact — and LabelNames (distinct node
+	// labels present, sorted) unions the same way.
+	TripleRows []TripleRow `json:"tripleRows,omitempty"`
+	LabelNames []string    `json:"labelNames,omitempty"`
 
 	// update: per-watch answer deltas; watch: the initial answer set is
 	// returned in Matches. On the multi-tenant front end an update's
@@ -246,6 +265,26 @@ type WatchDelta struct {
 	Added    []int64 `json:"added,omitempty"`
 	Removed  []int64 `json:"removed,omitempty"`
 	Affected int     `json:"affected"` // focus candidates re-verified
+	// Resync (multi-tenant front end, deltas command) means the delta
+	// stream for this watch is incomplete — its bounded pending inbox
+	// overflowed, or an update raced the watch's registration — and
+	// Added/Removed must be ignored: re-read the full answer set
+	// (re-register, or re-run the pattern as a match) instead.
+	Resync bool `json:"resync,omitempty"`
+}
+
+// TripleRow is one edge class of the stats command in structured form:
+// label names plus the class aggregates. Unlike the human-rendered
+// Triples strings it is complete (every class, no TopK cap) and
+// machine-mergeable, which is what lets the cluster front end fan stats
+// out to fragment workers and sum exactly.
+type TripleRow struct {
+	Src   string `json:"src"`
+	Edge  string `json:"edge"`
+	Dst   string `json:"dst"`
+	Count int    `json:"count"`
+	Srcs  int    `json:"srcs"`
+	Dsts  int    `json:"dsts"`
 }
 
 // TenantInfo describes one live tenant session of the multi-tenant front
@@ -253,11 +292,14 @@ type WatchDelta struct {
 // internal/tenant — so wire clients need no dependency on the session
 // manager's internals.
 type TenantInfo struct {
-	Name    string `json:"name"`
-	Watches int    `json:"watches"`           // registered standing patterns
-	Writes  int64  `json:"writes"`            // update batches this tenant applied
-	Reads   int64  `json:"reads"`             // match/explain reads this tenant issued
-	Pending int    `json:"pending,omitempty"` // watches with undrained deltas
-	IdleMS  int64  `json:"idleMs"`            // since last command
-	Conns   int    `json:"conns"`             // attached connections
+	Name       string `json:"name"`
+	Watches    int    `json:"watches"`              // registered standing patterns
+	Writes     int64  `json:"writes"`               // update batches this tenant applied
+	Reads      int64  `json:"reads"`                // match/explain reads this tenant issued
+	Pending    int    `json:"pending,omitempty"`    // watches with undrained deltas
+	PendingIDs int    `json:"pendingIds,omitempty"` // undrained coalesced ids across those watches
+	Throttled  int64  `json:"throttled,omitempty"`  // commands refused by admission control
+	Overflows  int64  `json:"overflows,omitempty"`  // pending inboxes dropped at the cap (watch marked Resync)
+	IdleMS     int64  `json:"idleMs"`               // since last command
+	Conns      int    `json:"conns"`                // attached connections
 }

@@ -688,16 +688,19 @@ func (s *Server) handleStats(sess *session, req *Request, resp *Response) error 
 	if sess.g == nil {
 		return errNoGraph
 	}
-	st := sess.stats()
-	resp.Nodes, resp.Edges = st.Nodes, st.Edges
-	resp.Labels = len(st.LabelCount)
-	k := req.TopK
-	if k <= 0 {
-		k = 10
+	if sess.owned != nil {
+		// A fragment worker reports its owned share only: the fragment
+		// also materializes other workers' nodes (neighborhood shipped
+		// for the owned candidates' benefit), which whole-fragment stats
+		// would double count across the cluster. Owned-restricted rows
+		// sum exactly — see stats.CollectOwned — which is what lets the
+		// coordinator serve stats from fragment copies instead of
+		// pinning a frontend-side graph clone. Not cached: the owned
+		// pass is O(|fragment|) and stats calls are rare.
+		FillStats(resp, sess.g, stats.CollectOwned(sess.g, sess.owned), req.TopK)
+		return nil
 	}
-	for _, t := range st.TopTriples(k) {
-		resp.Triples = append(resp.Triples, st.Describe(sess.g, t))
-	}
+	FillStats(resp, sess.g, sess.stats(), req.TopK)
 	return nil
 }
 

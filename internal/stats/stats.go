@@ -115,6 +115,67 @@ func Collect(g *graph.Graph) *Stats {
 	return s
 }
 
+// CollectOwned computes statistics restricted to an owned node set — a
+// cluster worker's share of the global statistics. Nodes, labels and
+// degrees count owned nodes only; an edge belongs to a class Count when
+// its SOURCE is owned; SrcNodes (DstNodes) counts owned nodes with an
+// out-edge (in-edge) of the class.
+//
+// Exactness: ownership partitions the global node set, and a
+// d-hop-preserving fragment (d ≥ 1) materializes every in- and out-edge
+// of each owned node, so each global node is counted by exactly one
+// worker and each global edge's class membership by exactly its source's
+// owner. Summing per-worker CollectOwned results over a fragmentation
+// therefore reproduces Collect of the global graph exactly — Count,
+// SrcNodes, DstNodes, label counts and totals alike. (MaxOut/InDegree
+// merge by max, not sum.)
+//
+// The owned slice need not be sorted; it is visited in ascending order
+// internally so the last-node dedup trick from Collect still applies.
+func CollectOwned(g *graph.Graph, owned []graph.NodeID) *Stats {
+	sorted := make([]graph.NodeID, len(owned))
+	copy(sorted, owned)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := &Stats{
+		Nodes:      len(sorted),
+		LabelCount: make(map[graph.LabelID]int),
+		Triples:    make(map[Triple]TripleStats),
+	}
+	lastSrc := make(map[Triple]graph.NodeID)
+	lastDst := make(map[Triple]graph.NodeID)
+	for _, v := range sorted {
+		s.LabelCount[g.NodeLabel(v)]++
+		if d := g.OutDegree(v); d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+		}
+		if d := g.InDegree(v); d > s.MaxInDegree {
+			s.MaxInDegree = d
+		}
+		srcLabel := g.NodeLabel(v)
+		for _, e := range g.Out(v) {
+			s.Edges++
+			t := Triple{Src: srcLabel, Edge: e.Label, Dst: g.NodeLabel(e.To)}
+			ts := s.Triples[t]
+			ts.Count++
+			if last, ok := lastSrc[t]; !ok || last != v {
+				ts.SrcNodes++
+				lastSrc[t] = v
+			}
+			s.Triples[t] = ts
+		}
+		for _, e := range g.In(v) {
+			t := Triple{Src: g.NodeLabel(e.To), Edge: e.Label, Dst: srcLabel}
+			if last, ok := lastDst[t]; !ok || last != v {
+				ts := s.Triples[t]
+				ts.DstNodes++
+				s.Triples[t] = ts
+				lastDst[t] = v
+			}
+		}
+	}
+	return s
+}
+
 // NodesWithLabel returns the number of nodes carrying label l.
 func (s *Stats) NodesWithLabel(l graph.LabelID) int { return s.LabelCount[l] }
 

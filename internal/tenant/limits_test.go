@@ -1,0 +1,284 @@
+package tenant
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// fakeClock drives the manager's on-demand bucket refills
+// deterministically.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestAdmitRateLimit(t *testing.T) {
+	clock := newFakeClock()
+	m := NewManager(Config{RateQPS: 2, RateBurst: 2, Now: clock.Now}, &fakeRegistrar{})
+	if _, err := m.Attach("a"); err != nil {
+		t.Fatal(err)
+	}
+	// The bucket starts full: burst admissions pass.
+	for i := 0; i < 2; i++ {
+		if err := m.Admit("a", "match"); err != nil {
+			t.Fatalf("admit %d within burst: %v", i, err)
+		}
+	}
+	err := m.Admit("a", "match")
+	var thr *ErrThrottled
+	if !errors.As(err, &thr) {
+		t.Fatalf("admit past burst: %v, want *ErrThrottled", err)
+	}
+	if thr.Reason != "rate" || thr.Tenant != "a" {
+		t.Fatalf("throttle: %+v", thr)
+	}
+	// One token at 2 qps is 500ms away.
+	if thr.RetryAfter != 500*time.Millisecond {
+		t.Fatalf("retry-after %v, want 500ms", thr.RetryAfter)
+	}
+	// A refusal costs nothing: after the advertised wait the refill admits.
+	clock.Advance(thr.RetryAfter)
+	if err := m.Admit("a", "match"); err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+	infos := m.List()
+	if len(infos) != 1 || infos[0].Throttled != 1 {
+		t.Fatalf("List: %+v", infos)
+	}
+}
+
+func TestAffectedBudgetPostPaid(t *testing.T) {
+	clock := newFakeClock()
+	m := NewManager(Config{AffectedPerSec: 10, AffectedBurst: 10, Now: clock.Now}, &fakeRegistrar{})
+	if _, err := m.Attach("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Post-paid: the update is admitted on a non-negative balance and its
+	// real cost lands afterwards, driving the balance negative.
+	if err := m.Admit("a", "update"); err != nil {
+		t.Fatalf("first update: %v", err)
+	}
+	m.ChargeAffected("a", 110) // balance 10 - 110 = -100
+	err := m.Admit("a", "update")
+	var thr *ErrThrottled
+	if !errors.As(err, &thr) {
+		t.Fatalf("update against a deficit: %v, want *ErrThrottled", err)
+	}
+	if thr.Reason != "budget" {
+		t.Fatalf("reason %q, want budget", thr.Reason)
+	}
+	// The debt is 100 units at 10/s: 10 seconds to dig out.
+	if thr.RetryAfter != 10*time.Second {
+		t.Fatalf("retry-after %v, want 10s", thr.RetryAfter)
+	}
+	// The budget gates updates only; the tenant's reads keep flowing.
+	if err := m.Admit("a", "match"); err != nil {
+		t.Fatalf("match while update-budget blocked: %v", err)
+	}
+	clock.Advance(10 * time.Second)
+	if err := m.Admit("a", "update"); err != nil {
+		t.Fatalf("update after the debt refilled: %v", err)
+	}
+}
+
+func TestInboxOverflowResync(t *testing.T) {
+	reg := &fakeRegistrar{}
+	m := NewManager(Config{MaxPendingIDs: 4}, reg)
+	for _, tn := range []string{"writer", "reader"} {
+		if _, err := m.Attach(tn); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Watch(tn, "w", testPattern(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Five coalesced ids against a cap of four: the state is dropped and
+	// the watch flagged for resync.
+	m.RecordDeltas("writer", []server.WatchDelta{
+		{Watch: GlobalName("reader", "w"), Added: []int64{1, 2, 3}, Removed: []int64{4, 5}, Affected: 5},
+	})
+	// The writer's own oversized delta is returned directly, never capped.
+	own := m.RecordDeltas("writer", []server.WatchDelta{
+		{Watch: GlobalName("writer", "w"), Added: []int64{1, 2, 3, 4, 5, 6}},
+	})
+	if len(own) != 1 || len(own[0].Added) != 6 || own[0].Resync {
+		t.Fatalf("writer's own deltas: %+v", own)
+	}
+	// Later deltas under the cap coalesce again, but the flag survives
+	// until drained: the reader must learn its stream has a hole.
+	m.RecordDeltas("writer", []server.WatchDelta{
+		{Watch: GlobalName("reader", "w"), Added: []int64{100}, Affected: 1},
+	})
+	var reader server.TenantInfo
+	for _, info := range m.List() {
+		if info.Name == "reader" {
+			reader = info
+		}
+	}
+	if reader.Overflows != 1 || reader.PendingIDs != 1 || reader.PendingIDs > 4 {
+		t.Fatalf("reader info after overflow: %+v", reader)
+	}
+	ds, err := m.Drain("reader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || !ds[0].Resync {
+		t.Fatalf("drain after overflow: %+v", ds)
+	}
+	if len(ds[0].Added) != 1 || ds[0].Added[0] != 100 {
+		t.Fatalf("post-overflow delta not coalesced: %+v", ds[0])
+	}
+	// Draining clears the flag along with the state.
+	m.RecordDeltas("writer", []server.WatchDelta{
+		{Watch: GlobalName("reader", "w"), Added: []int64{101}, Affected: 1},
+	})
+	if ds, _ := m.Drain("reader"); len(ds) != 1 && ds[0].Resync {
+		t.Fatalf("resync flag survived the drain: %+v", ds)
+	}
+}
+
+// gatedUnwatchRegistrar blocks the FIRST Unwatch round trip until
+// released, so a test can interleave an eviction with it.
+type gatedUnwatchRegistrar struct {
+	fakeRegistrar
+	once    sync.Once
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (r *gatedUnwatchRegistrar) Unwatch(name string) error {
+	first := false
+	r.once.Do(func() { first = true })
+	if first {
+		close(r.entered)
+		<-r.release
+	}
+	return r.fakeRegistrar.Unwatch(name)
+}
+
+// TestUnwatchEvictRaceKeepsGaugeExact: Unwatch runs its registrar round
+// trip outside the manager lock; an Evict that lands in that window
+// already accounts for the watch (and unregisters it). The regression:
+// Unwatch used to decrement tenant.watches again on return, drifting
+// the gauge below the true count.
+func TestUnwatchEvictRaceKeepsGaugeExact(t *testing.T) {
+	reg := &gatedUnwatchRegistrar{entered: make(chan struct{}), release: make(chan struct{})}
+	r := obs.NewRegistry()
+	m := NewManager(Config{Metrics: r}, reg)
+	if _, err := m.Attach("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Watch("a", "w", testPattern(t)); err != nil {
+		t.Fatal(err)
+	}
+	gauge := r.Gauge("tenant.watches")
+	if v := gauge.Value(); v != 1 {
+		t.Fatalf("gauge %d after one watch", v)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- m.Unwatch("a", "w") }()
+	<-reg.entered // Unwatch is inside its registrar round trip
+	m.Evict("a")  // accounts for (and unregisters) the still-committed watch
+	close(reg.release)
+	if err := <-errc; err != nil {
+		t.Fatalf("unwatch: %v", err)
+	}
+	if v := gauge.Value(); v != 0 {
+		t.Fatalf("tenant.watches gauge %d after unwatch/evict race, want 0", v)
+	}
+}
+
+// gatedWatchRegistrar blocks Watch registrations once armed, so a test
+// can run an update's delta fan-out mid-registration.
+type gatedWatchRegistrar struct {
+	fakeRegistrar
+	mu      sync.Mutex
+	armed   bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (r *gatedWatchRegistrar) Watch(name string, q *core.Pattern) ([]graph.NodeID, error) {
+	r.mu.Lock()
+	gate := r.armed
+	r.armed = false
+	r.mu.Unlock()
+	if gate {
+		close(r.entered)
+		<-r.release
+	}
+	return r.fakeRegistrar.Watch(name, q)
+}
+
+// TestWatchRegistrationRaceMarksResync: an update that fans out while a
+// watch's registration round trip is in flight produces deltas the
+// reserved slot must NOT receive (the client has no initial answer set
+// yet) — and must not silently lose either. RecordDeltas skips the
+// reserved slot; Watch notices via the delta epoch and the committed
+// watch's first drain says resync.
+func TestWatchRegistrationRaceMarksResync(t *testing.T) {
+	reg := &gatedWatchRegistrar{entered: make(chan struct{}), release: make(chan struct{})}
+	m := NewManager(Config{}, reg)
+	for _, tn := range []string{"writer", "b"} {
+		if _, err := m.Attach(tn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg.mu.Lock()
+	reg.armed = true
+	reg.mu.Unlock()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := m.Watch("b", "w", testPattern(t))
+		errc <- err
+	}()
+	<-reg.entered // registration in flight; the slot is reserved
+
+	// The update's delta targets the reserved slot: dropped, not queued.
+	m.RecordDeltas("writer", []server.WatchDelta{
+		{Watch: GlobalName("b", "w"), Added: []int64{7}, Affected: 1},
+	})
+	if ds, _ := m.Drain("b"); len(ds) != 0 {
+		t.Fatalf("reserved slot received deltas: %+v", ds)
+	}
+
+	close(reg.release)
+	if err := <-errc; err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	ds, err := m.Drain("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Watch != "w" || !ds[0].Resync {
+		t.Fatalf("first drain after a raced registration: %+v, want a resync marker", ds)
+	}
+	// A registration with no concurrent update starts clean.
+	if _, err := m.Watch("b", "w2", testPattern(t)); err != nil {
+		t.Fatal(err)
+	}
+	if ds, _ := m.Drain("b"); len(ds) != 0 {
+		t.Fatalf("unraced registration drained %+v", ds)
+	}
+}

@@ -95,6 +95,28 @@ type Config struct {
 	// no command for this long (0 = 15m, negative = never). Ephemeral
 	// connection-scoped sessions die with their connection regardless.
 	IdleTimeout time.Duration
+	// RateQPS caps each tenant's admitted cluster commands — match,
+	// update, watch — per second with a token bucket (0 = unlimited).
+	// RateBurst is the bucket capacity (0 = 2×RateQPS, at least 1).
+	RateQPS   float64
+	RateBurst int
+	// AffectedPerSec budgets each tenant's update work in affected-set
+	// units per second: the coordinator's re-verification region size
+	// (UpdateResult.AffectedSize), i.e. what the update actually cost
+	// the shared cluster. The budget is post-paid — see limits.go —
+	// so a huge batch drives the balance negative rather than being
+	// under-charged. 0 = unlimited. AffectedBurst is the bucket
+	// capacity (0 = 4×AffectedPerSec, at least 1).
+	AffectedPerSec float64
+	AffectedBurst  int
+	// MaxPendingIDs caps one watch's coalesced pending inbox — the
+	// undrained added+removed ids RecordDeltas may accumulate for a
+	// tenant that is not draining. On overflow the coalesced state is
+	// dropped and the watch's next Drain carries Resync=true instead:
+	// the client re-reads its answer set rather than silently losing
+	// deltas, and the manager's memory stays bounded. 0 = 4096,
+	// negative = unlimited.
+	MaxPendingIDs int
 	// Logf reports evictions; nil discards.
 	Logf func(format string, args ...any)
 	// Metrics registers aggregate tenant gauges/counters; nil disables.
@@ -125,6 +147,33 @@ func (c Config) idle() time.Duration {
 	return c.IdleTimeout
 }
 
+func (c Config) rateBurst() float64 {
+	if c.RateBurst > 0 {
+		return float64(c.RateBurst)
+	}
+	if b := 2 * c.RateQPS; b > 1 {
+		return b
+	}
+	return 1
+}
+
+func (c Config) affectedBurst() float64 {
+	if c.AffectedBurst > 0 {
+		return float64(c.AffectedBurst)
+	}
+	if b := 4 * c.AffectedPerSec; b > 1 {
+		return b
+	}
+	return 1
+}
+
+func (c Config) pendingCap() int {
+	if c.MaxPendingIDs == 0 {
+		return 4096
+	}
+	return c.MaxPendingIDs
+}
+
 // pending is one watch's coalesced undrained delta: the net effect of
 // every update since the tenant last drained. Coalescing is net-out — an
 // answer added then removed between drains cancels to nothing — so the
@@ -134,18 +183,38 @@ type pending struct {
 	added    map[int64]bool
 	removed  map[int64]bool
 	affected int
+	// resync marks a delta the tenant cannot reconstruct incrementally:
+	// its inbox overflowed Config.MaxPendingIDs (the coalesced state was
+	// dropped), or an update raced the watch's registration. The next
+	// Drain carries the flag; the client re-reads the answer set.
+	resync bool
 }
 
 // state is one live tenant session.
 type state struct {
-	watches  map[string]string   // local watch name -> pattern
-	pend     map[string]*pending // local watch name -> undrained delta
-	fence    uint64              // version token of the last accepted write
-	lastSeen time.Time           // last command on behalf of this tenant
-	refs     int                 // attached connections
-	writes   int64
-	reads    int64
-	gone     bool // evicted; a concurrent Watch must not resurrect it
+	watches   map[string]string   // local watch name -> pattern
+	pend      map[string]*pending // local watch name -> undrained delta
+	fence     uint64              // version token of the last accepted write
+	lastSeen  time.Time           // last command on behalf of this tenant
+	refs      int                 // attached connections
+	writes    int64
+	reads     int64
+	throttled int64        // commands refused by admission control
+	overflow  int64        // pending inboxes dropped at the cap
+	rate      bucket       // command admissions (limits.go)
+	budget    bucket       // affected-set units, post-paid (limits.go)
+	im        *instruments // per-tenant metric series
+	gone      bool         // evicted; a concurrent Watch must not resurrect it
+}
+
+// ensurePending returns the watch's inbox, creating it empty if needed.
+func (st *state) ensurePending(watch string) *pending {
+	p := st.pend[watch]
+	if p == nil {
+		p = &pending{added: make(map[int64]bool), removed: make(map[int64]bool)}
+		st.pend[watch] = p
+	}
+	return p
 }
 
 // Manager owns the tenant table. All methods are safe for concurrent use.
@@ -159,6 +228,12 @@ type Manager struct {
 	mu       sync.Mutex
 	tenants  map[string]*state
 	nextAuto int // generator for ephemeral session names
+	// deltaEpoch counts RecordDeltas calls. Watch snapshots it while its
+	// slot is reserved; if it advanced by commit time, an update fanned
+	// out between the coordinator's registration and the manager's
+	// commit — its deltas for the new watch were dropped at the reserved
+	// slot, so the watch starts life marked resync.
+	deltaEpoch uint64
 
 	stop chan struct{} // idle sweeper; nil until Start
 	done chan struct{}
@@ -225,6 +300,7 @@ func (m *Manager) Attach(name string) (string, error) {
 		st = &state{
 			watches: make(map[string]string),
 			pend:    make(map[string]*pending),
+			im:      m.instruments(name),
 		}
 		m.tenants[name] = st
 		m.mCreated.Inc()
@@ -293,6 +369,7 @@ func (m *Manager) Watch(tenant, watch string, q *core.Pattern) ([]graph.NodeID, 
 		return nil, fmt.Errorf("tenant: session %q limit of %d standing patterns reached", tenant, max)
 	}
 	st.watches[watch] = "" // reserve the slot against concurrent quota races
+	epoch := m.deltaEpoch
 	m.mu.Unlock()
 
 	initial, err := m.reg.Watch(GlobalName(tenant, watch), q)
@@ -312,6 +389,15 @@ func (m *Manager) Watch(tenant, watch string, q *core.Pattern) ([]graph.NodeID, 
 		return nil, fmt.Errorf("tenant: session %q evicted", tenant)
 	}
 	st.watches[watch] = q.String()
+	if m.deltaEpoch != epoch {
+		// An update fanned out while the registration was in flight:
+		// RecordDeltas saw only the reserved slot and dropped whatever
+		// the update changed under this watch, and the initial answer
+		// set returned above may predate that update. The client cannot
+		// tell which — so its first Drain says resync instead of
+		// pretending the delta stream is complete.
+		st.ensurePending(watch).resync = true
+	}
 	m.mWatches.Add(1)
 	m.mu.Unlock()
 	return initial, nil
@@ -336,9 +422,16 @@ func (m *Manager) Unwatch(tenant, watch string) error {
 	}
 
 	m.mu.Lock()
-	delete(st.watches, watch)
-	delete(st.pend, watch)
-	m.mWatches.Add(-1)
+	// Re-check under the lock: an eviction that ran during the registrar
+	// round trip saw the still-committed watch and already accounted for
+	// it (and unwatches it best-effort), so decrementing again here would
+	// drift mWatches below the true count. Only the path that still finds
+	// the watch in a live session owns its accounting.
+	if _, ok := st.watches[watch]; ok && !st.gone {
+		delete(st.watches, watch)
+		delete(st.pend, watch)
+		m.mWatches.Add(-1)
+	}
 	m.mu.Unlock()
 	return nil
 }
@@ -347,19 +440,29 @@ func (m *Manager) Unwatch(tenant, watch string) error {
 // their tenants. The writer's own deltas are returned immediately, renamed
 // to local watch names — its response carries them, read-your-writes
 // style. Every other tenant's deltas are coalesced into that tenant's
-// pending inbox for its next Drain. Deltas for unknown tenants or watches
-// (races with eviction) are dropped.
+// pending inbox for its next Drain, bounded per watch by
+// Config.MaxPendingIDs: a tenant that never drains overflows, loses its
+// coalesced state, and is told to resync — it cannot grow the manager
+// without bound. Deltas for unknown tenants or watches (races with
+// eviction) are dropped.
 func (m *Manager) RecordDeltas(writer string, deltas []server.WatchDelta) []server.WatchDelta {
 	var own []server.WatchDelta
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.deltaEpoch++
+	limit := m.cfg.pendingCap()
 	for _, d := range deltas {
 		tn, watch := SplitName(d.Watch)
 		st, ok := m.tenants[tn]
 		if !ok {
 			continue
 		}
-		if _, ok := st.watches[watch]; !ok {
+		if pattern, ok := st.watches[watch]; !ok || pattern == "" {
+			// Unknown, or a reserved slot whose registration is still in
+			// flight: the watch's initial answer set has not been returned
+			// yet, so a delta against it is meaningless to the client.
+			// Watch notices the dropped delta through deltaEpoch and marks
+			// the committed watch resync.
 			continue
 		}
 		if tn == writer {
@@ -368,11 +471,7 @@ func (m *Manager) RecordDeltas(writer string, deltas []server.WatchDelta) []serv
 			})
 			continue
 		}
-		p := st.pend[watch]
-		if p == nil {
-			p = &pending{added: make(map[int64]bool), removed: make(map[int64]bool)}
-			st.pend[watch] = p
-		}
+		p := st.ensurePending(watch)
 		for _, v := range d.Added {
 			if p.removed[v] {
 				delete(p.removed, v)
@@ -388,6 +487,17 @@ func (m *Manager) RecordDeltas(writer string, deltas []server.WatchDelta) []serv
 			}
 		}
 		p.affected += d.Affected
+		if limit > 0 && len(p.added)+len(p.removed) > limit {
+			// Overflow: drop the oldest state — everything coalesced so
+			// far — and flag the watch. The flag survives until drained,
+			// so the client learns it must re-read even if later deltas
+			// fit under the cap again.
+			p.added = make(map[int64]bool)
+			p.removed = make(map[int64]bool)
+			p.resync = true
+			st.overflow++
+			st.im.overflow.Inc()
+		}
 	}
 	sort.Slice(own, func(i, j int) bool { return own[i].Watch < own[j].Watch })
 	return own
@@ -395,7 +505,10 @@ func (m *Manager) RecordDeltas(writer string, deltas []server.WatchDelta) []serv
 
 // Drain returns and clears the tenant's pending deltas, sorted by watch
 // name with sorted id lists. Watches whose pending delta netted out to
-// nothing are omitted unless re-verification touched them (Affected > 0).
+// nothing are omitted unless re-verification touched them (Affected > 0)
+// or they carry a Resync marker — an overflowed or registration-raced
+// watch reports Resync even with empty sets, because "re-read your
+// answers" is exactly the information the drain must deliver.
 func (m *Manager) Drain(tenant string) ([]server.WatchDelta, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -405,7 +518,7 @@ func (m *Manager) Drain(tenant string) ([]server.WatchDelta, error) {
 	}
 	var out []server.WatchDelta
 	for watch, p := range st.pend {
-		if len(p.added) == 0 && len(p.removed) == 0 && p.affected == 0 {
+		if len(p.added) == 0 && len(p.removed) == 0 && p.affected == 0 && !p.resync {
 			continue
 		}
 		out = append(out, server.WatchDelta{
@@ -413,6 +526,7 @@ func (m *Manager) Drain(tenant string) ([]server.WatchDelta, error) {
 			Added:    sortedIDs(p.added),
 			Removed:  sortedIDs(p.removed),
 			Affected: p.affected,
+			Resync:   p.resync,
 		})
 	}
 	st.pend = make(map[string]*pending)
@@ -495,14 +609,21 @@ func (m *Manager) List() []server.TenantInfo {
 	defer m.mu.Unlock()
 	out := make([]server.TenantInfo, 0, len(m.tenants))
 	for name, st := range m.tenants {
+		ids := 0
+		for _, p := range st.pend {
+			ids += len(p.added) + len(p.removed)
+		}
 		out = append(out, server.TenantInfo{
-			Name:    name,
-			Watches: len(st.watches),
-			Writes:  st.writes,
-			Reads:   st.reads,
-			Pending: len(st.pend),
-			IdleMS:  now.Sub(st.lastSeen).Milliseconds(),
-			Conns:   st.refs,
+			Name:       name,
+			Watches:    len(st.watches),
+			Writes:     st.writes,
+			Reads:      st.reads,
+			Pending:    len(st.pend),
+			PendingIDs: ids,
+			Throttled:  st.throttled,
+			Overflows:  st.overflow,
+			IdleMS:     now.Sub(st.lastSeen).Milliseconds(),
+			Conns:      st.refs,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -642,6 +763,7 @@ func (m *Manager) Restore(tables map[string]map[string]string) {
 			st = &state{
 				watches: make(map[string]string),
 				pend:    make(map[string]*pending),
+				im:      m.instruments(tn),
 			}
 			m.tenants[tn] = st
 			st.lastSeen = now
